@@ -1,0 +1,156 @@
+package swcaffe
+
+// Benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation section (DESIGN.md §3 maps each ID to its
+// generator). Each benchmark regenerates the artifact; run
+//
+//	go test -bench=. -benchmem
+//
+// to reproduce the full evaluation, or -bench=BenchmarkTable3 etc.
+// for a single artifact. The rendered artifacts go to io.Discard here;
+// use cmd/swbench to read them.
+
+import (
+	"io"
+	"testing"
+
+	"swcaffe/internal/experiments"
+	"swcaffe/internal/sw26010"
+	"swcaffe/internal/swdnn"
+)
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table1(io.Discard)
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure2(io.Discard)
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table2(io.Discard)
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure6(io.Discard)
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure7(io.Discard, 100e6)
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure8(io.Discard)
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure9(io.Discard)
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table3(io.Discard)
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure10(io.Discard)
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure11(io.Discard)
+	}
+}
+
+func BenchmarkIOStriping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.IOStriping(io.Discard)
+	}
+}
+
+func BenchmarkPackAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.PackAblation(io.Discard)
+	}
+}
+
+func BenchmarkGEMMAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.GEMMAblation(io.Discard)
+	}
+}
+
+func BenchmarkAllreduceAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AllreduceAblation(io.Discard)
+	}
+}
+
+func BenchmarkBNAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.BNAblation(io.Discard)
+	}
+}
+
+func BenchmarkSumAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.SumAblation(io.Discard)
+	}
+}
+
+func BenchmarkMappingAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.MappingAblation(io.Discard)
+	}
+}
+
+func BenchmarkBatchSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.BatchSweep(io.Discard)
+	}
+}
+
+// Functional-simulator micro-benchmarks: these measure the host cost
+// of the simulation itself (how fast the reproduction runs, not the
+// simulated times).
+
+func BenchmarkSimGEMM64(b *testing.B) { benchSimGEMM(b, 64) }
+
+func BenchmarkSimGEMM128(b *testing.B) { benchSimGEMM(b, 128) }
+
+func benchSimGEMM(b *testing.B, n int) {
+	cg := sw26010.NewCoreGroup(nil)
+	a := make([]float32, n*n)
+	bb := make([]float32, n*n)
+	c := make([]float32, n*n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		swdnn.GEMMRun(cg, a, bb, c, n, n, n)
+	}
+}
+
+func BenchmarkConvPlanSelection(b *testing.B) {
+	hw := sw26010.Default()
+	s := swdnn.ConvShape{B: 128, Ni: 256, Ri: 56, Ci: 56, No: 256, K: 3, S: 1, P: 1}
+	for i := 0; i < b.N; i++ {
+		swdnn.ConvPlans(hw, s, swdnn.Forward)
+	}
+}

@@ -1,0 +1,67 @@
+// Command swbench regenerates the tables and figures of the swCaffe
+// paper's evaluation section. With no arguments it runs everything;
+// pass artifact names to select a subset.
+//
+//	swbench [table1 figure2 table2 figure6 figure7 figure8 figure9
+//	         table3 figure10 figure11 io pack gemm allreduce]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"swcaffe/internal/experiments"
+)
+
+var artifacts = []struct {
+	Name string
+	Run  func()
+}{
+	{"table1", func() { experiments.Table1(os.Stdout) }},
+	{"figure2", func() { experiments.Figure2(os.Stdout) }},
+	{"table2", func() { experiments.Table2(os.Stdout) }},
+	{"figure6", func() { experiments.Figure6(os.Stdout) }},
+	{"figure7", func() { experiments.Figure7(os.Stdout, 100e6) }},
+	{"figure8", func() { experiments.Figure8(os.Stdout) }},
+	{"figure9", func() { experiments.Figure9(os.Stdout) }},
+	{"table3", func() { experiments.Table3(os.Stdout) }},
+	{"figure10", func() { experiments.Figure10(os.Stdout) }},
+	{"figure11", func() { experiments.Figure11(os.Stdout) }},
+	{"io", func() { experiments.IOStriping(os.Stdout) }},
+	{"pack", func() { experiments.PackAblation(os.Stdout) }},
+	{"gemm", func() { experiments.GEMMAblation(os.Stdout) }},
+	{"allreduce", func() { experiments.AllreduceAblation(os.Stdout) }},
+	{"bn", func() { experiments.BNAblation(os.Stdout) }},
+	{"sum", func() { experiments.SumAblation(os.Stdout) }},
+	{"mapping", func() { experiments.MappingAblation(os.Stdout) }},
+	{"batch", func() { experiments.BatchSweep(os.Stdout) }},
+}
+
+func main() {
+	want := map[string]bool{}
+	for _, a := range os.Args[1:] {
+		want[a] = true
+	}
+	if len(os.Args) > 1 {
+		known := map[string]bool{}
+		for _, a := range artifacts {
+			known[a.Name] = true
+		}
+		for name := range want {
+			if !known[name] {
+				fmt.Fprintf(os.Stderr, "swbench: unknown artifact %q\n", name)
+				fmt.Fprint(os.Stderr, "known:")
+				for _, a := range artifacts {
+					fmt.Fprintf(os.Stderr, " %s", a.Name)
+				}
+				fmt.Fprintln(os.Stderr)
+				os.Exit(2)
+			}
+		}
+	}
+	for _, a := range artifacts {
+		if len(want) == 0 || want[a.Name] {
+			a.Run()
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Command swtrain trains a small convolutional network functionally on
+// the synthetic cluster dataset with the full swCaffe stack: layers,
+// net, SGD solver, the 4-core-group intra-node averaging of
+// Algorithm 1, and optionally multi-node SSGD over the simulated
+// TaihuLight interconnect.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"swcaffe/internal/core"
+	"swcaffe/internal/dataset"
+	"swcaffe/internal/netdef"
+	"swcaffe/internal/tensor"
+	"swcaffe/internal/train"
+)
+
+func buildNet(batch, classes int) (*core.Net, map[string]*tensor.Tensor, error) {
+	net := core.NewNet("smallconv", "data", "label")
+	net.AddLayers(
+		core.NewConv(core.ConvConfig{Name: "conv1", Bottom: "data", Top: "conv1",
+			NumOutput: 8, Kernel: 3, Stride: 1, Pad: 1, BiasTerm: true}),
+		core.NewReLU("relu1", "conv1", "conv1", 0),
+		core.NewPool(core.PoolConfig{Name: "pool1", Bottom: "conv1", Top: "pool1",
+			Method: core.MaxPool, Kernel: 2, Stride: 2}),
+		core.NewInnerProduct(core.InnerProductConfig{Name: "fc1", Bottom: "pool1", Top: "fc1",
+			NumOutput: 32, BiasTerm: true}),
+		core.NewReLU("relu2", "fc1", "fc1", 0),
+		core.NewInnerProduct(core.InnerProductConfig{Name: "fc2", Bottom: "fc1", Top: "fc2",
+			NumOutput: classes, BiasTerm: true}),
+		core.NewSoftmaxLoss("loss", "fc2", "label", "loss"),
+	)
+	inputs := map[string]*tensor.Tensor{
+		"data":  tensor.New(batch, 1, 8, 8),
+		"label": tensor.New(batch, 1, 1, 1),
+	}
+	if err := net.Setup(inputs); err != nil {
+		return nil, nil, err
+	}
+	return net, inputs, nil
+}
+
+func main() {
+	iters := flag.Int("iters", 200, "training iterations")
+	batch := flag.Int("batch", 32, "per-node mini-batch")
+	nodes := flag.Int("nodes", 4, "simulated nodes (1 = single-node SGD)")
+	lr := flag.Float64("lr", 0.05, "base learning rate")
+	classes := flag.Int("classes", 4, "synthetic classes")
+	netFile := flag.String("net", "", "optional netdef file overriding the built-in architecture (inputs must be 'data' (Bx1x8x8) and 'label')")
+	flag.Parse()
+
+	ds := dataset.NewClusters(4096, *classes, 1, 8, 8, 0.35, 42)
+	solverCfg := core.SolverConfig{BaseLR: *lr, Momentum: 0.9, WeightDecay: 5e-4}
+
+	build := func() (*core.Net, map[string]*tensor.Tensor, error) { return buildNet(*batch, *classes) }
+	if *netFile != "" {
+		build = func() (*core.Net, map[string]*tensor.Tensor, error) {
+			f, err := os.Open(*netFile)
+			if err != nil {
+				return nil, nil, err
+			}
+			defer f.Close()
+			def, err := netdef.Parse(f)
+			if err != nil {
+				return nil, nil, err
+			}
+			inputs, err := def.Build()
+			if err != nil {
+				return nil, nil, err
+			}
+			return def.Net, inputs, nil
+		}
+	}
+
+	if *nodes == 1 {
+		net, inputs, err := build()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		solver := core.NewSolver(net, solverCfg)
+		for it := 0; it < *iters; it++ {
+			dataset.Batch(ds, it**batch, inputs["data"], inputs["label"])
+			loss := solver.Step()
+			if it%20 == 0 || it == *iters-1 {
+				fmt.Printf("iter %4d  loss %.4f  lr %.4f\n", it, loss, solver.LR())
+			}
+		}
+		fmt.Printf("final accuracy on 512 fresh examples: %.1f%%\n",
+			evalAccuracy(net, inputs, ds, *batch)*100)
+		return
+	}
+
+	trainer, err := train.NewDistTrainer(train.DistConfig{
+		Nodes: *nodes, SubBatch: *batch, Solver: solverCfg,
+	}, build)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for it := 0; it < *iters; it++ {
+		trainer.LoadShards(ds, it)
+		loss := trainer.Step()
+		if it%20 == 0 || it == *iters-1 {
+			fmt.Printf("iter %4d  loss %.4f  (simulated comm so far %.4fs)\n", it, loss, trainer.CommTime)
+		}
+	}
+	if d := trainer.ParamsDiverged(); d > 1e-6 {
+		fmt.Fprintf(os.Stderr, "replica divergence: %g\n", d)
+		os.Exit(1)
+	}
+	w := trainer.Workers[0]
+	fmt.Printf("final accuracy on 512 fresh examples: %.1f%%\n",
+		evalAccuracy(w.Net, map[string]*tensor.Tensor{"data": w.Data, "label": w.Labels}, ds, *batch)*100)
+	fmt.Printf("replicas consistent across %d nodes; total simulated all-reduce time %.4fs\n",
+		*nodes, trainer.CommTime)
+}
+
+func evalAccuracy(net *core.Net, inputs map[string]*tensor.Tensor, ds dataset.Dataset, batch int) float64 {
+	correct, total := 0, 0
+	// The score blob is whatever feeds the loss layer.
+	scoreBlob := "fc2"
+	for _, l := range net.Layers() {
+		if l.Type() == "SoftmaxWithLoss" {
+			scoreBlob = l.Bottoms()[0]
+		}
+	}
+	scores := net.Blob(scoreBlob)
+	classes := scores.C
+	for start := 100000; total < 512; start += batch {
+		dataset.Batch(ds, start, inputs["data"], inputs["label"])
+		net.Forward(core.Test)
+		for b := 0; b < batch && total < 512; b++ {
+			bestIdx, best := 0, scores.Data[b*classes]
+			for c := 1; c < classes; c++ {
+				if scores.Data[b*classes+c] > best {
+					best, bestIdx = scores.Data[b*classes+c], c
+				}
+			}
+			if bestIdx == int(inputs["label"].Data[b]) {
+				correct++
+			}
+			total++
+		}
+	}
+	return float64(correct) / float64(total)
+}

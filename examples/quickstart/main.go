@@ -1,0 +1,66 @@
+// Quickstart: build a small network with the swCaffe core API, train
+// it on a synthetic dataset with the SGD solver, and price the same
+// network on the SW26010 / K40m / CPU device models.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"swcaffe/internal/core"
+	"swcaffe/internal/dataset"
+	"swcaffe/internal/perf"
+	"swcaffe/internal/tensor"
+)
+
+func main() {
+	const (
+		batch   = 32
+		classes = 4
+	)
+
+	// 1. Describe the network: blobs are named, layers are wired by
+	//    name, exactly like a Caffe prototxt.
+	net := core.NewNet("quickstart", "data", "label")
+	net.AddLayers(
+		core.NewInnerProduct(core.InnerProductConfig{
+			Name: "fc1", Bottom: "data", Top: "fc1", NumOutput: 64, BiasTerm: true}),
+		core.NewReLU("relu1", "fc1", "fc1", 0),
+		core.NewInnerProduct(core.InnerProductConfig{
+			Name: "fc2", Bottom: "fc1", Top: "fc2", NumOutput: classes, BiasTerm: true}),
+		core.NewSoftmaxLoss("loss", "fc2", "label", "loss"),
+	)
+
+	// 2. Bind input tensors and let the net infer every other shape.
+	inputs := map[string]*tensor.Tensor{
+		"data":  tensor.New(batch, 1, 4, 4),
+		"label": tensor.New(batch, 1, 1, 1),
+	}
+	if err := net.Setup(inputs); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("net %q: %d layers, %d parameters (%.1f KB all-reduce payload)\n",
+		net.Name(), len(net.Layers()), len(net.LearnableParams()), float64(net.ParamBytes())/1e3)
+
+	// 3. Train with momentum SGD on a separable synthetic task.
+	ds := dataset.NewClusters(2048, classes, 1, 4, 4, 0.3, 7)
+	solver := core.NewSolver(net, core.SolverConfig{
+		BaseLR: 0.1, Momentum: 0.9, WeightDecay: 1e-4,
+		Policy: core.StepLR{StepSize: 100, Gamma: 0.5},
+	})
+	for it := 0; it < 150; it++ {
+		dataset.Batch(ds, it*batch, inputs["data"], inputs["label"])
+		loss := solver.Step()
+		if it%30 == 0 || it == 149 {
+			fmt.Printf("iter %3d  loss %.4f  lr %.3f\n", it, loss, solver.LR())
+		}
+	}
+
+	// 4. Price one training iteration of the same net on each device.
+	fmt.Println("\nestimated single-iteration time by device:")
+	for _, dev := range []perf.Device{perf.NewSWCG(), perf.NewK40m(), perf.NewXeonCPU()} {
+		_, total := net.Cost(dev)
+		fmt.Printf("  %-10s fwd %.3gus  bwd %.3gus\n",
+			dev.Name(), total.Forward*1e6, total.Backward*1e6)
+	}
+}

@@ -1,0 +1,235 @@
+// Package allreduce implements the gradient-synchronization
+// collectives of swCaffe (paper Sec. V-A): the ring and binomial-tree
+// baselines, the MPICH recursive-halving/recursive-doubling
+// all-reduce, and the paper's topology-aware improvement, which is the
+// same algorithm run under a round-robin rank-to-supernode mapping so
+// that the heavy early rounds stay inside supernodes. It also provides
+// the closed-form α-β-γ cost functions (Eqns. 2–6) that the paper uses
+// to justify the redesign, and the gradient-packing utilities.
+package allreduce
+
+import (
+	"fmt"
+
+	"swcaffe/internal/simnet"
+)
+
+// Algorithm is a collective all-reduce body: every rank calls it with
+// its local vector; on return every rank holds the elementwise sum
+// over all ranks. Implementations must not modify the input slice.
+type Algorithm func(n *simnet.Node, data []float32) []float32
+
+// Algorithm names for harness output.
+const (
+	NameRing     = "ring"
+	NameBinomial = "binomial-tree"
+	NameRHD      = "recursive-halving-doubling"
+)
+
+// ByName returns a named algorithm.
+func ByName(name string) (Algorithm, error) {
+	switch name {
+	case NameRing:
+		return Ring, nil
+	case NameBinomial:
+		return BinomialTree, nil
+	case NameRHD:
+		return RecursiveHalvingDoubling, nil
+	default:
+		return nil, fmt.Errorf("allreduce: unknown algorithm %q", name)
+	}
+}
+
+// --- ring ---------------------------------------------------------------
+
+// Ring is the bandwidth-optimal ring all-reduce (paper ref [15]):
+// p-1 reduce-scatter steps plus p-1 allgather steps moving n/p chunks
+// around a logical ring. Its latency term is 2(p-1)α, which the paper
+// rejects for the high-latency Sunway network.
+func Ring(n *simnet.Node, data []float32) []float32 {
+	p := n.P()
+	out := append([]float32(nil), data...)
+	if p == 1 {
+		return out
+	}
+	r := n.Rank
+	next := (r + 1) % p
+	prev := (r - 1 + p) % p
+	bounds := chunkBounds(len(out), p)
+
+	// Reduce-scatter: in step s, send chunk (r-s) to the next rank and
+	// receive + reduce chunk (r-s-1) from the previous one.
+	for s := 0; s < p-1; s++ {
+		sendIdx := ((r-s)%p + p) % p
+		recvIdx := ((r-s-1)%p + p) % p
+		lo, hi := bounds[sendIdx], bounds[sendIdx+1]
+		chunk := append([]float32(nil), out[lo:hi]...)
+		n.Send(next, chunk)
+		in := n.Recv(prev)
+		rlo := bounds[recvIdx]
+		for i, v := range in {
+			out[rlo+i] += v
+		}
+		n.ChargeReduce(len(in))
+	}
+	// Allgather: circulate the finished chunks around the ring.
+	for s := 0; s < p-1; s++ {
+		sendIdx := ((r+1-s)%p + p) % p
+		recvIdx := ((r-s)%p + p) % p
+		lo, hi := bounds[sendIdx], bounds[sendIdx+1]
+		chunk := append([]float32(nil), out[lo:hi]...)
+		n.Send(next, chunk)
+		in := n.Recv(prev)
+		copy(out[bounds[recvIdx]:], in)
+	}
+	return out
+}
+
+func chunkBounds(n, p int) []int {
+	b := make([]int, p+1)
+	for i := 0; i <= p; i++ {
+		b[i] = i * n / p
+	}
+	return b
+}
+
+// --- binomial tree -------------------------------------------------------
+
+// BinomialTree reduces to rank 0 up a binomial tree and broadcasts the
+// result back down: 2·log p rounds each moving the full vector. This
+// is the naive MPI_Reduce + MPI_Bcast composition.
+func BinomialTree(n *simnet.Node, data []float32) []float32 {
+	p := n.P()
+	out := append([]float32(nil), data...)
+	r := n.Rank
+	// Reduce phase (MPICH binomial reduce to root 0).
+	for mask := 1; mask < p; mask <<= 1 {
+		if r&mask != 0 {
+			n.Send(r-mask, out)
+			break
+		}
+		if r+mask < p {
+			in := n.Recv(r + mask)
+			for i, v := range in {
+				out[i] += v
+			}
+			n.ChargeReduce(len(in))
+		}
+	}
+	// Broadcast phase (MPICH binomial bcast from root 0).
+	mask := 1
+	for mask < p {
+		if r&mask != 0 {
+			res := n.Recv(r - mask)
+			copy(out, res)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if r+mask < p && r&(mask-1) == 0 && r&mask == 0 {
+			n.Send(r+mask, out)
+		}
+		mask >>= 1
+	}
+	return out
+}
+
+// --- recursive halving / doubling ----------------------------------------
+
+// RecursiveHalvingDoubling is the Rabenseifner all-reduce of MPICH
+// (paper ref [14]) that swCaffe adopts: a reduce-scatter by recursive
+// halving followed by an allgather by recursive doubling, giving a
+// 2·log p latency term and the bandwidth-optimal 2n(p-1)/p volume.
+// Non-power-of-two sizes fold the excess ranks onto the power-of-two
+// core first (and unfold at the end). The topology awareness of the
+// paper's improved version comes entirely from the cluster's rank
+// mapping: under topology.RoundRobinMapping the large early halving
+// exchanges (distance pow2/2, ..., p/q) stay inside one supernode.
+func RecursiveHalvingDoubling(n *simnet.Node, data []float32) []float32 {
+	p := n.P()
+	out := append([]float32(nil), data...)
+	if p == 1 {
+		return out
+	}
+	pow2 := 1
+	for pow2*2 <= p {
+		pow2 *= 2
+	}
+	rem := p - pow2
+	r := n.Rank
+
+	// Fold: ranks >= pow2 ship their vector to (rank - pow2), wait for
+	// the final result.
+	if r >= pow2 {
+		n.Send(r-pow2, out)
+		res := n.Recv(r - pow2)
+		copy(out, res)
+		return out
+	}
+	if r < rem {
+		in := n.Recv(r + pow2)
+		for i, v := range in {
+			out[i] += v
+		}
+		n.ChargeReduce(len(in))
+	}
+
+	// Pad the working vector to a multiple of pow2 so halving is exact.
+	padded := len(out)
+	if padded%pow2 != 0 {
+		padded += pow2 - padded%pow2
+	}
+	work := make([]float32, padded)
+	copy(work, out)
+
+	// Reduce-scatter by recursive halving: exchange with peers at
+	// distance pow2/2, pow2/4, ..., 1, halving the live span each time.
+	type span struct{ off, cnt, peer, d int }
+	var history []span
+	off, cnt := 0, padded
+	for d := pow2 / 2; d >= 1; d /= 2 {
+		peer := r ^ d
+		half := cnt / 2
+		var sendOff, keepOff int
+		if r&d == 0 {
+			sendOff, keepOff = off+half, off
+		} else {
+			sendOff, keepOff = off, off+half
+		}
+		chunk := append([]float32(nil), work[sendOff:sendOff+half]...)
+		in := n.SendRecv(peer, chunk)
+		for i, v := range in {
+			work[keepOff+i] += v
+		}
+		n.ChargeReduce(half)
+		history = append(history, span{off: keepOff, cnt: half, peer: peer, d: d})
+		off, cnt = keepOff, half
+	}
+
+	// Allgather by recursive doubling: replay the halving history in
+	// reverse. At reversed step i the rank owns exactly the span it
+	// kept at halving step i; the peer owns the complementary half of
+	// the parent span.
+	for i := len(history) - 1; i >= 0; i-- {
+		h := history[i]
+		chunk := append([]float32(nil), work[h.off:h.off+h.cnt]...)
+		in := n.SendRecv(h.peer, chunk)
+		var otherOff int
+		if r&h.d == 0 { // we kept the lower half, peer has the upper
+			otherOff = h.off + h.cnt
+		} else {
+			otherOff = h.off - h.cnt
+		}
+		copy(work[otherOff:otherOff+h.cnt], in)
+	}
+
+	copy(out, work[:len(out)])
+
+	// Unfold: ship the finished result to the folded partner.
+	if r < rem {
+		n.Send(r+pow2, out)
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package allreduce
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"swcaffe/internal/simnet"
+	"swcaffe/internal/topology"
+)
+
+// runAllreduce executes an algorithm over p nodes with random inputs
+// and checks every node ends with the true sum.
+func runAllreduce(t *testing.T, alg Algorithm, name string, p, length int) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(p*1000 + length)))
+	inputs := make([][]float32, p)
+	expect := make([]float32, length)
+	for r := 0; r < p; r++ {
+		inputs[r] = make([]float32, length)
+		for i := range inputs[r] {
+			inputs[r][i] = float32(rng.NormFloat64())
+		}
+	}
+	// Sum in the deterministic order the algorithms do not guarantee —
+	// compare with tolerance.
+	for i := 0; i < length; i++ {
+		var s float64
+		for r := 0; r < p; r++ {
+			s += float64(inputs[r][i])
+		}
+		expect[i] = float32(s)
+	}
+
+	net := topology.Sunway()
+	cl := simnet.NewCluster(net, topology.AdjacentMapping{Q: net.SupernodeSize}, p)
+	var mu sync.Mutex
+	results := make([][]float32, p)
+	res := cl.Run(func(n *simnet.Node) {
+		out := alg(n, inputs[n.Rank])
+		mu.Lock()
+		results[n.Rank] = out
+		mu.Unlock()
+	})
+	for r := 0; r < p; r++ {
+		if len(results[r]) != length {
+			t.Fatalf("%s p=%d len=%d: rank %d returned %d values", name, p, length, r, len(results[r]))
+		}
+		for i := range results[r] {
+			if d := math.Abs(float64(results[r][i] - expect[i])); d > 1e-3*float64(p) {
+				t.Fatalf("%s p=%d len=%d: rank %d elem %d: got %g want %g",
+					name, p, length, r, i, results[r][i], expect[i])
+			}
+		}
+	}
+	if res.Time <= 0 && p > 1 {
+		t.Fatalf("%s p=%d: non-positive makespan", name, p)
+	}
+	return res.Time
+}
+
+func TestAllreduceCorrectness(t *testing.T) {
+	algs := map[string]Algorithm{
+		NameRing:     Ring,
+		NameBinomial: BinomialTree,
+		NameRHD:      RecursiveHalvingDoubling,
+	}
+	for name, alg := range algs {
+		for _, p := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 31, 32} {
+			for _, length := range []int{1, 5, 64, 1000} {
+				runAllreduce(t, alg, name, p, length)
+			}
+		}
+	}
+}
+
+func TestAllreduceInputNotModified(t *testing.T) {
+	p, length := 8, 100
+	inputs := make([][]float32, p)
+	copies := make([][]float32, p)
+	for r := 0; r < p; r++ {
+		inputs[r] = make([]float32, length)
+		for i := range inputs[r] {
+			inputs[r][i] = float32(r*length + i)
+		}
+		copies[r] = append([]float32(nil), inputs[r]...)
+	}
+	net := topology.Sunway()
+	cl := simnet.NewCluster(net, topology.AdjacentMapping{Q: net.SupernodeSize}, p)
+	cl.Run(func(n *simnet.Node) {
+		RecursiveHalvingDoubling(n, inputs[n.Rank])
+	})
+	for r := 0; r < p; r++ {
+		for i := range inputs[r] {
+			if inputs[r][i] != copies[r][i] {
+				t.Fatalf("rank %d input modified at %d", r, i)
+			}
+		}
+	}
+}
+
+func TestRoundRobinMappingFasterAtScale(t *testing.T) {
+	// The paper's improvement: with p >> q, round-robin numbering must
+	// make RHD faster than adjacent numbering. Use a small supernode
+	// (q=4) so the effect appears at testable scale.
+	net := topology.Sunway()
+	net.SupernodeSize = 4
+	p, length := 32, 1<<14
+
+	time := func(m topology.Mapping) float64 {
+		cl := simnet.NewCluster(net, m, p)
+		cl.BytesPerElem = 4096 // virtual large gradient
+		inputs := make([][]float32, p)
+		for r := range inputs {
+			inputs[r] = make([]float32, length)
+		}
+		return cl.Run(func(n *simnet.Node) {
+			RecursiveHalvingDoubling(n, inputs[n.Rank])
+		}).Time
+	}
+	adj := time(topology.AdjacentMapping{Q: 4})
+	rr := time(topology.RoundRobinMapping{Q: 4})
+	if rr >= adj {
+		t.Fatalf("round-robin (%.6gs) should beat adjacent (%.6gs) at p=%d q=4", rr, adj, p)
+	}
+}

@@ -1,0 +1,160 @@
+package allreduce
+
+import (
+	"math"
+
+	"swcaffe/internal/topology"
+)
+
+// Closed-form α-β-γ costs of the all-reduce variants (paper Eqns. 2–6,
+// cost model of ref [14]). p is the node count, q the supernode size,
+// n the vector size in bytes. The reduction rate γ comes from the
+// network parameter set (MPE or CPE, the paper's Sec. V-A sum
+// optimization).
+
+// Cost is a decomposed collective time estimate.
+type Cost struct {
+	Latency   float64 // α terms
+	Intra     float64 // β1 terms
+	Inter     float64 // β2 terms
+	Reduction float64 // γ terms
+}
+
+// Total returns the summed time.
+func (c Cost) Total() float64 { return c.Latency + c.Intra + c.Inter + c.Reduction }
+
+func gammaOf(net *topology.Network, onCPE bool) float64 {
+	if onCPE {
+		return net.GammaCPE
+	}
+	return net.GammaMPE
+}
+
+// OriginalRHDCost evaluates Eqns. 2–4: recursive halving+doubling with
+// the default adjacent rank numbering. With p > q the first log(p/q)
+// halving rounds (the big messages) cross supernodes, contributing the
+// (p−q)·β2·n/p term that dominates at scale.
+func OriginalRHDCost(net *topology.Network, p int, nBytes float64, onCPE bool) Cost {
+	q := float64(net.SupernodeSize)
+	fp := float64(p)
+	if fp <= q {
+		// Everything is intra-supernode.
+		return rhdCostFlat(net, p, nBytes, onCPE, net.Beta1)
+	}
+	logP := math.Log2(fp)
+	alpha := net.Alpha(int64(nBytes / fp))
+	c := Cost{
+		Latency:   2 * logP * alpha,
+		Intra:     2 * (q - 1) * net.Beta1 * nBytes / fp,
+		Inter:     2 * (fp - q) * net.Beta2 * nBytes / fp,
+		Reduction: (fp - 1) / fp * nBytes * gammaOf(net, onCPE),
+	}
+	return c
+}
+
+// ImprovedRHDCost evaluates Eqns. 5–6: the same algorithm under the
+// round-robin supernode mapping, which shrinks the β2 coefficient from
+// (p−q) to (p/q − 1).
+func ImprovedRHDCost(net *topology.Network, p int, nBytes float64, onCPE bool) Cost {
+	q := float64(net.SupernodeSize)
+	fp := float64(p)
+	if fp <= q {
+		return rhdCostFlat(net, p, nBytes, onCPE, net.Beta1)
+	}
+	logP := math.Log2(fp)
+	alpha := net.Alpha(int64(nBytes / fp))
+	return Cost{
+		Latency:   2 * logP * alpha,
+		Intra:     2 * (fp - fp/q) * net.Beta1 * nBytes / fp,
+		Inter:     2 * (fp/q - 1) * net.Beta2 * nBytes / fp,
+		Reduction: (fp - 1) / fp * nBytes * gammaOf(net, onCPE),
+	}
+}
+
+// rhdCostFlat is the single-supernode (or flat-network) RHD cost:
+// 2·log p·α + 2·(p−1)/p·n·β + (p−1)/p·n·γ.
+func rhdCostFlat(net *topology.Network, p int, nBytes float64, onCPE bool, beta float64) Cost {
+	fp := float64(p)
+	alpha := net.Alpha(int64(nBytes / fp))
+	return Cost{
+		Latency:   2 * math.Log2(fp) * alpha,
+		Intra:     2 * (fp - 1) / fp * nBytes * beta,
+		Reduction: (fp - 1) / fp * nBytes * gammaOf(net, onCPE),
+	}
+}
+
+// RingCost prices the ring all-reduce: 2(p−1) rounds of n/p bytes.
+// Under the adjacent mapping a ring has only a handful of
+// cross-supernode hops, but every synchronous round is paced by its
+// slowest link, so the inter-supernode β applies once p exceeds q.
+func RingCost(net *topology.Network, p int, nBytes float64, onCPE bool) Cost {
+	fp := float64(p)
+	if p == 1 {
+		return Cost{}
+	}
+	alpha := net.Alpha(int64(nBytes / fp))
+	beta := net.Beta1
+	inter := 0.0
+	if p > net.SupernodeSize {
+		beta = net.Beta2
+	}
+	c := Cost{
+		Latency:   2 * (fp - 1) * alpha,
+		Reduction: (fp - 1) / fp * nBytes * gammaOf(net, onCPE),
+	}
+	if beta == net.Beta2 {
+		inter = 2 * (fp - 1) / fp * nBytes * beta
+		c.Inter = inter
+	} else {
+		c.Intra = 2 * (fp - 1) / fp * nBytes * beta
+	}
+	return c
+}
+
+// BinomialCost prices reduce+broadcast over binomial trees: 2·log p
+// rounds each carrying the full vector; with adjacent mapping the top
+// log(p/q) levels cross supernodes.
+func BinomialCost(net *topology.Network, p int, nBytes float64, onCPE bool) Cost {
+	if p == 1 {
+		return Cost{}
+	}
+	fp := float64(p)
+	q := float64(net.SupernodeSize)
+	logP := math.Log2(fp)
+	alpha := net.Alpha(int64(nBytes))
+	c := Cost{
+		Latency:   2 * logP * alpha,
+		Reduction: logP * nBytes * gammaOf(net, onCPE) / 3, // halves the streams: accumulate into resident buffer
+	}
+	if fp <= q {
+		c.Intra = 2 * logP * nBytes * net.Beta1
+	} else {
+		crossLevels := math.Log2(fp / q)
+		c.Intra = 2 * (logP - crossLevels) * nBytes * net.Beta1
+		c.Inter = 2 * crossLevels * nBytes * net.Beta2
+	}
+	return c
+}
+
+// PerLayerAllreduceCost prices synchronizing each layer's gradient
+// with a separate improved-RHD all-reduce — the baseline the paper's
+// gradient packing beats ("sum operation for layer gradients of small
+// parameter size can be inefficient", Sec. V-A). layerBytes lists each
+// learnable blob's size.
+func PerLayerAllreduceCost(net *topology.Network, p int, layerBytes []int64, onCPE bool) float64 {
+	var total float64
+	for _, b := range layerBytes {
+		total += ImprovedRHDCost(net, p, float64(b), onCPE).Total()
+	}
+	return total
+}
+
+// PackedAllreduceCost prices one all-reduce over the concatenation of
+// all layer gradients (the paper's packing scheme).
+func PackedAllreduceCost(net *topology.Network, p int, layerBytes []int64, onCPE bool) float64 {
+	var sum float64
+	for _, b := range layerBytes {
+		sum += float64(b)
+	}
+	return ImprovedRHDCost(net, p, sum, onCPE).Total()
+}

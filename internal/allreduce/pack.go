@@ -1,0 +1,68 @@
+package allreduce
+
+// Packing utilities (paper Sec. V-A): swCaffe concatenates the
+// gradients of all layers into one buffer before the all-reduce, so
+// both the network and the CPE summation see one large contiguous
+// vector instead of many small ones (VGG-16 spans 1.7 KB to 102 MB
+// across layers).
+
+// Packer concatenates equally-shaped gradient fragments and splits
+// them back. It is deliberately allocation-stable: the packed buffer
+// is reused across iterations.
+type Packer struct {
+	sizes []int
+	buf   []float32
+}
+
+// NewPacker builds a packer for fragments of the given lengths.
+func NewPacker(sizes []int) *Packer {
+	total := 0
+	for _, s := range sizes {
+		if s < 0 {
+			panic("allreduce: negative fragment size")
+		}
+		total += s
+	}
+	return &Packer{sizes: append([]int(nil), sizes...), buf: make([]float32, total)}
+}
+
+// Len returns the packed vector length.
+func (p *Packer) Len() int { return len(p.buf) }
+
+// Pack copies the fragments into the packed buffer and returns it.
+// The fragment count and lengths must match the constructor.
+func (p *Packer) Pack(frags [][]float32) []float32 {
+	if len(frags) != len(p.sizes) {
+		panic("allreduce: fragment count mismatch")
+	}
+	off := 0
+	for i, f := range frags {
+		if len(f) != p.sizes[i] {
+			panic("allreduce: fragment length mismatch")
+		}
+		copy(p.buf[off:], f)
+		off += len(f)
+	}
+	return p.buf
+}
+
+// Unpack scatters a packed vector back into the fragments.
+func (p *Packer) Unpack(packed []float32, frags [][]float32) {
+	if len(packed) != len(p.buf) {
+		panic("allreduce: packed length mismatch")
+	}
+	off := 0
+	for i, f := range frags {
+		copy(f, packed[off:off+p.sizes[i]])
+		off += p.sizes[i]
+	}
+}
+
+// Scale divides every element by n — the 1/N averaging of Algorithm 1
+// line 9, applied after the sum all-reduce.
+func Scale(v []float32, n int) {
+	inv := float32(1) / float32(n)
+	for i := range v {
+		v[i] *= inv
+	}
+}

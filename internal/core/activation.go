@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math/rand"
+
+	"swcaffe/internal/perf"
+	"swcaffe/internal/tensor"
+)
+
+// ReLULayer applies max(0, x) elementwise, optionally with a leaky
+// negative slope. Supports in-place operation (bottom == top name).
+type ReLULayer struct {
+	base
+	negSlope float32
+	n        int
+}
+
+// NewReLU builds a ReLU layer. bottom and top may be the same blob
+// name for in-place operation, as Caffe networks conventionally do.
+func NewReLU(name, bottom, top string, negSlope float32) *ReLULayer {
+	l := &ReLULayer{negSlope: negSlope}
+	l.name, l.typ = name, "ReLU"
+	l.bottoms = []string{bottom}
+	l.tops = []string{top}
+	return l
+}
+
+func (l *ReLULayer) Setup(bottoms []*tensor.Tensor) ([][4]int, error) {
+	in, err := checkOneBottom(l, bottoms)
+	if err != nil {
+		return nil, err
+	}
+	l.n = in.Len()
+	return [][4]int{in.Shape()}, nil
+}
+
+func (l *ReLULayer) Forward(bottoms, tops []*tensor.Tensor, phase Phase) {
+	in, out := bottoms[0], tops[0]
+	for i, v := range in.Data {
+		if v > 0 {
+			out.Data[i] = v
+		} else {
+			out.Data[i] = l.negSlope * v
+		}
+	}
+}
+
+func (l *ReLULayer) Backward(bottoms, tops, topDiffs []*tensor.Tensor, bottomDiffs []*tensor.Tensor, phase Phase) {
+	if bottomDiffs[0] == nil {
+		return
+	}
+	in, dy, dx := bottoms[0], topDiffs[0], bottomDiffs[0]
+	for i, v := range in.Data {
+		if v > 0 {
+			dx.Data[i] += dy.Data[i]
+		} else {
+			dx.Data[i] += l.negSlope * dy.Data[i]
+		}
+	}
+}
+
+func (l *ReLULayer) Cost(dev perf.Device) LayerCost {
+	return LayerCost{
+		Forward:  dev.Elementwise(l.n, 1, 1, 1),
+		Backward: dev.Elementwise(l.n, 2, 1, 1),
+	}
+}
+
+// DropoutLayer zeroes each activation with probability p during
+// training and rescales survivors by 1/(1-p) (inverted dropout, as
+// Caffe implements it). At test time it is the identity.
+type DropoutLayer struct {
+	base
+	ratio float32
+	n     int
+	mask  []float32
+	rng   *rand.Rand
+}
+
+// NewDropout builds a dropout layer with drop probability ratio.
+func NewDropout(name, bottom, top string, ratio float32) *DropoutLayer {
+	l := &DropoutLayer{ratio: ratio, rng: rand.New(rand.NewSource(int64(len(name)) * 31337))}
+	l.name, l.typ = name, "Dropout"
+	l.bottoms = []string{bottom}
+	l.tops = []string{top}
+	return l
+}
+
+func (l *DropoutLayer) Setup(bottoms []*tensor.Tensor) ([][4]int, error) {
+	in, err := checkOneBottom(l, bottoms)
+	if err != nil {
+		return nil, err
+	}
+	l.n = in.Len()
+	if cap(l.mask) < l.n {
+		l.mask = make([]float32, l.n)
+	}
+	return [][4]int{in.Shape()}, nil
+}
+
+func (l *DropoutLayer) Forward(bottoms, tops []*tensor.Tensor, phase Phase) {
+	in, out := bottoms[0], tops[0]
+	if phase == Test || l.ratio == 0 {
+		copy(out.Data, in.Data)
+		return
+	}
+	scale := 1 / (1 - l.ratio)
+	mask := l.mask[:l.n]
+	for i, v := range in.Data {
+		if l.rng.Float32() < l.ratio {
+			mask[i] = 0
+			out.Data[i] = 0
+		} else {
+			mask[i] = scale
+			out.Data[i] = v * scale
+		}
+	}
+}
+
+func (l *DropoutLayer) Backward(bottoms, tops, topDiffs []*tensor.Tensor, bottomDiffs []*tensor.Tensor, phase Phase) {
+	if bottomDiffs[0] == nil {
+		return
+	}
+	dy, dx := topDiffs[0], bottomDiffs[0]
+	if phase == Test || l.ratio == 0 {
+		dx.AXPY(1, dy)
+		return
+	}
+	mask := l.mask[:l.n]
+	for i, m := range mask {
+		dx.Data[i] += dy.Data[i] * m
+	}
+}
+
+func (l *DropoutLayer) Cost(dev perf.Device) LayerCost {
+	return LayerCost{
+		Forward:  dev.Elementwise(l.n, 1, 2, 2),
+		Backward: dev.Elementwise(l.n, 2, 1, 1),
+	}
+}
+
+// ScaleLayer multiplies each channel by a learnable factor and adds a
+// learnable bias — the affine half of batch normalization, split out
+// as Caffe's Scale layer.
+type ScaleLayer struct {
+	base
+	c, n  int
+	gamma *Param
+	beta  *Param
+}
+
+// NewScale builds a per-channel scale+bias layer.
+func NewScale(name, bottom, top string) *ScaleLayer {
+	l := &ScaleLayer{}
+	l.name, l.typ = name, "Scale"
+	l.bottoms = []string{bottom}
+	l.tops = []string{top}
+	return l
+}
+
+func (l *ScaleLayer) Setup(bottoms []*tensor.Tensor) ([][4]int, error) {
+	in, err := checkOneBottom(l, bottoms)
+	if err != nil {
+		return nil, err
+	}
+	l.c = in.C
+	l.n = in.Len()
+	if l.gamma == nil {
+		l.gamma = NewParam(l.name+".gamma", 1, in.C, 1, 1)
+		l.gamma.Data.Fill(1)
+		l.beta = NewParam(l.name+".beta", 1, in.C, 1, 1)
+		l.beta.DecayMult = 0
+	}
+	return [][4]int{in.Shape()}, nil
+}
+
+func (l *ScaleLayer) Params() []*Param {
+	if l.gamma == nil {
+		return nil
+	}
+	return []*Param{l.gamma, l.beta}
+}
+
+func (l *ScaleLayer) Forward(bottoms, tops []*tensor.Tensor, phase Phase) {
+	in, out := bottoms[0], tops[0]
+	hw := in.H * in.W
+	for n := 0; n < in.N; n++ {
+		for c := 0; c < in.C; c++ {
+			g, b := l.gamma.Data.Data[c], l.beta.Data.Data[c]
+			off := (n*in.C + c) * hw
+			for i := 0; i < hw; i++ {
+				out.Data[off+i] = in.Data[off+i]*g + b
+			}
+		}
+	}
+}
+
+func (l *ScaleLayer) Backward(bottoms, tops, topDiffs []*tensor.Tensor, bottomDiffs []*tensor.Tensor, phase Phase) {
+	in, dy := bottoms[0], topDiffs[0]
+	hw := in.H * in.W
+	for n := 0; n < in.N; n++ {
+		for c := 0; c < in.C; c++ {
+			off := (n*in.C + c) * hw
+			var dg, db float32
+			for i := 0; i < hw; i++ {
+				dg += dy.Data[off+i] * in.Data[off+i]
+				db += dy.Data[off+i]
+			}
+			l.gamma.Diff.Data[c] += dg
+			l.beta.Diff.Data[c] += db
+			if bottomDiffs[0] != nil {
+				g := l.gamma.Data.Data[c]
+				for i := 0; i < hw; i++ {
+					bottomDiffs[0].Data[off+i] += dy.Data[off+i] * g
+				}
+			}
+		}
+	}
+}
+
+func (l *ScaleLayer) Cost(dev perf.Device) LayerCost {
+	return LayerCost{
+		Forward:  dev.Elementwise(l.n, 1, 1, 2),
+		Backward: dev.Elementwise(l.n, 3, 1, 4),
+	}
+}

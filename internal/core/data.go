@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+
+	"swcaffe/internal/dataset"
+	"swcaffe/internal/pario"
+	"swcaffe/internal/tensor"
+)
+
+// DataFeeder is swCaffe's input pipeline (paper Sec. V-B): "each
+// worker of the parallel DNN training task uses an I/O thread to
+// prefetch one mini-batch data via random sampling prior to each
+// iteration". A background goroutine fills the next batch while the
+// current one trains; Next blocks only when the prefetch has not
+// finished — the exposed time the pario model prices analytically.
+type DataFeeder struct {
+	ds     dataset.Dataset
+	rng    *rand.Rand
+	random bool
+
+	batch  int
+	cursor int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ready   bool
+	stopped bool
+
+	nextData   *tensor.Tensor
+	nextLabels *tensor.Tensor
+
+	// SimReadTime accumulates the simulated storage read time per
+	// fetched batch when a pario config is attached.
+	io          *pario.Config
+	procs       int
+	SimReadTime float64
+}
+
+// NewDataFeeder builds a feeder producing (batch, C, H, W) tensors
+// from ds. When random is true batches are drawn by random sampling
+// (training); otherwise sequentially (evaluation).
+func NewDataFeeder(ds dataset.Dataset, batch int, random bool, seed int64) *DataFeeder {
+	c, h, w := ds.Dims()
+	f := &DataFeeder{
+		ds: ds, rng: rand.New(rand.NewSource(seed)), random: random,
+		batch:      batch,
+		nextData:   tensor.New(batch, c, h, w),
+		nextLabels: tensor.New(batch, 1, 1, 1),
+		procs:      1,
+	}
+	f.cond = sync.NewCond(&f.mu)
+	go f.loop()
+	return f
+}
+
+// AttachStorage prices each prefetch against the striped-filesystem
+// model, as if procs workers were reading concurrently.
+func (f *DataFeeder) AttachStorage(cfg pario.Config, procs int) {
+	f.mu.Lock()
+	f.io = &cfg
+	f.procs = procs
+	f.mu.Unlock()
+}
+
+func (f *DataFeeder) loop() {
+	for {
+		f.mu.Lock()
+		for f.ready && !f.stopped {
+			f.cond.Wait()
+		}
+		if f.stopped {
+			f.mu.Unlock()
+			return
+		}
+		f.mu.Unlock()
+
+		// Fill outside the lock: this is the prefetch "I/O thread".
+		if f.random {
+			dataset.RandomBatch(f.ds, f.rng, f.nextData, f.nextLabels)
+		} else {
+			dataset.Batch(f.ds, f.cursor, f.nextData, f.nextLabels)
+			f.cursor += f.batch
+		}
+
+		f.mu.Lock()
+		if f.io != nil {
+			f.SimReadTime += f.io.ReadTime(f.procs, f.nextData.Bytes())
+		}
+		f.ready = true
+		f.cond.Broadcast()
+		f.mu.Unlock()
+	}
+}
+
+// Next copies the prefetched batch into data/labels and wakes the
+// prefetcher for the following one. It blocks if the prefetch is
+// still in flight.
+func (f *DataFeeder) Next(data, labels *tensor.Tensor) {
+	f.mu.Lock()
+	for !f.ready && !f.stopped {
+		f.cond.Wait()
+	}
+	if f.stopped {
+		f.mu.Unlock()
+		panic("core: Next on a stopped DataFeeder")
+	}
+	data.CopyFrom(f.nextData)
+	labels.CopyFrom(f.nextLabels)
+	f.ready = false
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+// Stop terminates the prefetch goroutine. The feeder cannot be reused.
+func (f *DataFeeder) Stop() {
+	f.mu.Lock()
+	f.stopped = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"swcaffe/internal/perf"
+	"swcaffe/internal/swdnn"
+	"swcaffe/internal/tensor"
+)
+
+// InnerProductConfig configures a fully-connected layer.
+type InnerProductConfig struct {
+	Name      string
+	Bottom    string
+	Top       string
+	NumOutput int
+	BiasTerm  bool
+}
+
+// InnerProductLayer is the fully-connected layer: Y[B×Cout] =
+// X[B×Cin]·Wᵀ + b. It is the GEMM workload of paper Sec. IV-A; on
+// SW26010 it maps to the register-communication GEMM.
+type InnerProductLayer struct {
+	base
+	cfg    InnerProductConfig
+	b, cin int
+	weight *Param // (Cout, Cin) stored as (Cout, Cin, 1, 1)
+	bias   *Param
+}
+
+// NewInnerProduct builds a fully-connected layer.
+func NewInnerProduct(cfg InnerProductConfig) *InnerProductLayer {
+	l := &InnerProductLayer{cfg: cfg}
+	l.name, l.typ = cfg.Name, "InnerProduct"
+	l.bottoms = []string{cfg.Bottom}
+	l.tops = []string{cfg.Top}
+	return l
+}
+
+func (l *InnerProductLayer) Setup(bottoms []*tensor.Tensor) ([][4]int, error) {
+	in, err := checkOneBottom(l, bottoms)
+	if err != nil {
+		return nil, err
+	}
+	l.b = in.N
+	l.cin = in.C * in.H * in.W
+	if l.cin == 0 {
+		return nil, fmt.Errorf("layer %q: empty input", l.name)
+	}
+	if l.weight == nil {
+		l.weight = NewParam(l.name+".weight", l.cfg.NumOutput, l.cin, 1, 1)
+		rng := rand.New(rand.NewSource(int64(len(l.name))*104729 + 7))
+		l.weight.Data.FillXavier(rng, l.cin)
+		if l.cfg.BiasTerm {
+			l.bias = NewParam(l.name+".bias", 1, l.cfg.NumOutput, 1, 1)
+			l.bias.DecayMult = 0
+			l.bias.LRMult = 2
+		}
+	} else if l.weight.Data.C != l.cin {
+		return nil, fmt.Errorf("layer %q: input size changed from %d to %d", l.name, l.weight.Data.C, l.cin)
+	}
+	return [][4]int{{in.N, l.cfg.NumOutput, 1, 1}}, nil
+}
+
+func (l *InnerProductLayer) Params() []*Param {
+	if l.bias != nil {
+		return []*Param{l.weight, l.bias}
+	}
+	if l.weight != nil {
+		return []*Param{l.weight}
+	}
+	return nil
+}
+
+func (l *InnerProductLayer) Forward(bottoms, tops []*tensor.Tensor, phase Phase) {
+	in, out := bottoms[0], tops[0]
+	cout := l.cfg.NumOutput
+	for i := range out.Data {
+		out.Data[i] = 0
+	}
+	// Y = X · Wᵀ
+	swdnn.RefGEMMTransB(in.Data, l.weight.Data.Data, out.Data, l.b, l.cin, cout)
+	if l.bias != nil {
+		for n := 0; n < l.b; n++ {
+			row := out.Data[n*cout : (n+1)*cout]
+			for j := range row {
+				row[j] += l.bias.Data.Data[j]
+			}
+		}
+	}
+}
+
+func (l *InnerProductLayer) Backward(bottoms, tops, topDiffs []*tensor.Tensor, bottomDiffs []*tensor.Tensor, phase Phase) {
+	in := bottoms[0]
+	dy := topDiffs[0]
+	cout := l.cfg.NumOutput
+	// dW += dYᵀ · X   (Cout×B · B×Cin)
+	swdnn.RefGEMMTransA(dy.Data, in.Data, l.weight.Diff.Data, cout, l.b, l.cin)
+	if l.bias != nil {
+		for n := 0; n < l.b; n++ {
+			row := dy.Data[n*cout : (n+1)*cout]
+			for j, v := range row {
+				l.bias.Diff.Data[j] += v
+			}
+		}
+	}
+	// dX += dY · W   (B×Cout · Cout×Cin)
+	if bottomDiffs[0] != nil {
+		swdnn.RefGEMM(dy.Data, l.weight.Data.Data, bottomDiffs[0].Data, l.b, cout, l.cin)
+	}
+}
+
+func (l *InnerProductLayer) Cost(dev perf.Device) LayerCost {
+	fwd := dev.InnerProduct(l.b, l.cin, l.cfg.NumOutput, swdnn.Forward)
+	bwd := dev.InnerProduct(l.b, l.cin, l.cfg.NumOutput, swdnn.BackwardWeight) +
+		dev.InnerProduct(l.b, l.cin, l.cfg.NumOutput, swdnn.BackwardInput)
+	return LayerCost{Forward: fwd, Backward: bwd}
+}

@@ -1,0 +1,81 @@
+package core
+
+import "math"
+
+// LARS — Layer-wise Adaptive Rate Scaling (You, Gitman & Ginsburg,
+// the paper's reference [12]). swCaffe's conclusion argues TaihuLight
+// "is able to benefit from new training algorithm with larger
+// batch-size"; LARS is that algorithm: it rescales each layer's
+// learning rate by ‖w‖/(‖∇w‖ + wd·‖w‖) so 16K-32K global batches keep
+// training stably. This implements it as a drop-in solver sharing the
+// Net/LR-policy machinery.
+
+// LARSConfig extends the SGD hyper-parameters with the trust
+// coefficient η (paper [12] uses 0.001-0.01).
+type LARSConfig struct {
+	SolverConfig
+	// Eta is the LARS trust coefficient.
+	Eta float64
+	// Epsilon guards the denominator for zero-gradient layers.
+	Epsilon float64
+}
+
+// LARSSolver implements momentum SGD with layer-wise adaptive rate
+// scaling.
+type LARSSolver struct {
+	*Solver
+	eta float64
+	eps float64
+}
+
+// NewLARS builds a LARS solver over a prepared net.
+func NewLARS(net *Net, cfg LARSConfig) *LARSSolver {
+	if cfg.Eta == 0 {
+		cfg.Eta = 0.001
+	}
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 1e-9
+	}
+	return &LARSSolver{Solver: NewSolver(net, cfg.SolverConfig), eta: cfg.Eta, eps: cfg.Epsilon}
+}
+
+// LocalRate returns the layer-wise LARS multiplier for one parameter:
+// η·‖w‖ / (‖∇w‖ + wd·‖w‖ + ε).
+func (s *LARSSolver) LocalRate(p *Param) float64 {
+	wNorm := math.Sqrt(p.Data.SumSquares())
+	gNorm := math.Sqrt(p.Diff.SumSquares())
+	if wNorm == 0 || gNorm == 0 {
+		return 1 // freshly initialized or gradient-free: plain SGD step
+	}
+	wd := s.cfg.WeightDecay * p.DecayMult
+	return s.eta * wNorm / (gNorm + wd*wNorm + s.eps)
+}
+
+// Step runs one LARS iteration and returns the loss.
+func (s *LARSSolver) Step() float32 {
+	s.net.ZeroParamDiffs()
+	loss := s.net.Forward(Train)
+	s.net.Backward(Train)
+	if s.GradientHook != nil {
+		s.GradientHook(s.net)
+	}
+	s.ApplyUpdate()
+	return loss
+}
+
+// ApplyUpdate performs the LARS momentum update.
+func (s *LARSSolver) ApplyUpdate() {
+	lr := s.LR()
+	for _, p := range s.net.LearnableParams() {
+		h := s.historyFor(p)
+		local := float32(lr * p.LRMult * s.LocalRate(p))
+		decay := float32(s.cfg.WeightDecay * p.DecayMult)
+		mom := float32(s.cfg.Momentum)
+		for i, g := range p.Diff.Data {
+			g += decay * p.Data.Data[i]
+			h.Data[i] = mom*h.Data[i] + local*g
+			p.Data.Data[i] -= h.Data[i]
+		}
+	}
+	s.iter++
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"swcaffe/internal/tensor"
+)
+
+// Snapshotting (Caffe's .caffemodel / .solverstate): the net's
+// parameters and the solver's optimization state serialize to a simple
+// self-describing binary format so training can stop and resume
+// bit-exactly. The format is stdlib-only:
+//
+//	magic "SWCF" | version u32 | count u32 |
+//	  repeat: nameLen u32 | name | n,c,h,w u32 | data float32[...]
+//
+// All integers are little-endian.
+
+const (
+	snapshotMagic   = "SWCF"
+	snapshotVersion = 1
+)
+
+type blobRecord struct {
+	name string
+	t    *tensor.Tensor
+}
+
+func writeBlobSection(w io.Writer, blobs []blobRecord) error {
+	if _, err := io.WriteString(w, snapshotMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(snapshotVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(blobs))); err != nil {
+		return err
+	}
+	for _, b := range blobs {
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(b.name))); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, b.name); err != nil {
+			return err
+		}
+		sh := b.t.Shape()
+		for _, d := range sh {
+			if err := binary.Write(w, binary.LittleEndian, uint32(d)); err != nil {
+				return err
+			}
+		}
+		buf := make([]byte, 4*len(b.t.Data))
+		for i, v := range b.t.Data {
+			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readBlobSection(r io.Reader) ([]blobRecord, error) {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("core: snapshot header: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("core: bad snapshot magic %q", magic)
+	}
+	var version, count uint32
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d", version)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	const sanityLimit = 1 << 20
+	if count > sanityLimit {
+		return nil, fmt.Errorf("core: implausible blob count %d", count)
+	}
+	out := make([]blobRecord, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint32
+		if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+			return nil, err
+		}
+		if nameLen > 4096 {
+			return nil, fmt.Errorf("core: implausible name length %d", nameLen)
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, nameBuf); err != nil {
+			return nil, err
+		}
+		var sh [4]uint32
+		for d := range sh {
+			if err := binary.Read(r, binary.LittleEndian, &sh[d]); err != nil {
+				return nil, err
+			}
+		}
+		t := tensor.New(int(sh[0]), int(sh[1]), int(sh[2]), int(sh[3]))
+		buf := make([]byte, 4*t.Len())
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		for j := range t.Data {
+			t.Data[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[j*4:]))
+		}
+		out = append(out, blobRecord{name: string(nameBuf), t: t})
+	}
+	return out, nil
+}
+
+// SaveWeights serializes every parameter blob (including batch-norm
+// running statistics) of the net.
+func (n *Net) SaveWeights(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var blobs []blobRecord
+	for _, p := range n.Params() {
+		blobs = append(blobs, blobRecord{name: p.Name, t: p.Data})
+	}
+	if err := writeBlobSection(bw, blobs); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadWeights restores parameter blobs by name. Blobs present in the
+// snapshot but absent from the net are ignored (Caffe's fine-tuning
+// semantics); net parameters missing from the snapshot are left
+// untouched. Shape mismatches are errors.
+func (n *Net) LoadWeights(r io.Reader) error {
+	blobs, err := readBlobSection(bufio.NewReader(r))
+	if err != nil {
+		return err
+	}
+	byName := make(map[string]*tensor.Tensor, len(blobs))
+	for _, b := range blobs {
+		byName[b.name] = b.t
+	}
+	for _, p := range n.Params() {
+		src, ok := byName[p.Name]
+		if !ok {
+			continue
+		}
+		if !src.SameShape(p.Data) {
+			return fmt.Errorf("core: snapshot blob %q shape %v != net shape %v",
+				p.Name, src.Shape(), p.Data.Shape())
+		}
+		p.Data.CopyFrom(src)
+	}
+	return nil
+}
+
+// SaveState serializes the full solver state: iteration counter, net
+// weights and momentum history, so ResumeState continues bit-exactly.
+func (s *Solver) SaveState(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.LittleEndian, uint64(s.iter)); err != nil {
+		return err
+	}
+	var blobs []blobRecord
+	for _, p := range s.net.Params() {
+		blobs = append(blobs, blobRecord{name: p.Name, t: p.Data})
+	}
+	for _, p := range s.net.LearnableParams() {
+		if h, ok := s.history[p]; ok {
+			blobs = append(blobs, blobRecord{name: "history/" + p.Name, t: h})
+		}
+	}
+	if err := writeBlobSection(bw, blobs); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ResumeState restores a snapshot written by SaveState into this
+// solver (whose net must have the same architecture).
+func (s *Solver) ResumeState(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var iter uint64
+	if err := binary.Read(br, binary.LittleEndian, &iter); err != nil {
+		return err
+	}
+	blobs, err := readBlobSection(br)
+	if err != nil {
+		return err
+	}
+	byName := make(map[string]*tensor.Tensor, len(blobs))
+	for _, b := range blobs {
+		byName[b.name] = b.t
+	}
+	for _, p := range s.net.Params() {
+		if src, ok := byName[p.Name]; ok {
+			if !src.SameShape(p.Data) {
+				return fmt.Errorf("core: resume blob %q shape mismatch", p.Name)
+			}
+			p.Data.CopyFrom(src)
+		}
+	}
+	for _, p := range s.net.LearnableParams() {
+		src, ok := byName["history/"+p.Name]
+		if !ok {
+			continue
+		}
+		h, exists := s.history[p]
+		if !exists {
+			h = tensor.New(p.Data.N, p.Data.C, p.Data.H, p.Data.W)
+			s.history[p] = h
+		}
+		if !src.SameShape(h) {
+			return fmt.Errorf("core: resume history %q shape mismatch", p.Name)
+		}
+		h.CopyFrom(src)
+	}
+	s.iter = int(iter)
+	return nil
+}

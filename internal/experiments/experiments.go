@@ -1,0 +1,39 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Sec. VI) plus the ablations called out in
+// DESIGN.md. Each generator writes a plain-text rendition of the
+// artifact to an io.Writer and returns the structured data so tests
+// can assert the paper's qualitative claims (winners, crossovers,
+// orderings) mechanically.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+func newTab(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+func section(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n", title)
+}
+
+// fmtTime renders seconds compactly.
+func fmtTime(s float64) string {
+	switch {
+	case s <= 0:
+		return "-"
+	case s < 1e-3:
+		return fmt.Sprintf("%.1fus", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", s)
+	}
+}
+
+func fmtGBps(bytesPerSec float64) string {
+	return fmt.Sprintf("%.2f", bytesPerSec/1e9)
+}

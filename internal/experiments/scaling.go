@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"swcaffe/internal/allreduce"
+	"swcaffe/internal/models"
+	"swcaffe/internal/pario"
+	"swcaffe/internal/simnet"
+	"swcaffe/internal/topology"
+	"swcaffe/internal/train"
+)
+
+// Figure7Result compares the original and improved all-reduce on the
+// paper's 8-node / 2-supernode worked example, both analytically
+// (Eqns. 2-6) and by running the algorithm on the simulator.
+type Figure7Result struct {
+	Bytes             float64
+	OriginalAnalytic  float64
+	ImprovedAnalytic  float64
+	OriginalSimulated float64
+	ImprovedSimulated float64
+}
+
+// Figure7 reproduces the 8-node example of paper Fig. 7: recursive
+// halving/doubling all-reduce under adjacent vs round-robin rank
+// numbering with 2 supernodes of 4 nodes.
+func Figure7(w io.Writer, nBytes float64) Figure7Result {
+	net := topology.Sunway()
+	net.SupernodeSize = 4
+	const p = 8
+
+	res := Figure7Result{Bytes: nBytes}
+	res.OriginalAnalytic = allreduce.OriginalRHDCost(net, p, nBytes, true).Total()
+	res.ImprovedAnalytic = allreduce.ImprovedRHDCost(net, p, nBytes, true).Total()
+
+	run := func(m topology.Mapping) float64 {
+		cl := simnet.NewCluster(net, m, p)
+		cl.ReduceOnCPE = true
+		length := 4096
+		cl.BytesPerElem = nBytes / float64(length)
+		inputs := make([][]float32, p)
+		for r := range inputs {
+			inputs[r] = make([]float32, length)
+		}
+		return cl.Run(func(n *simnet.Node) {
+			allreduce.RecursiveHalvingDoubling(n, inputs[n.Rank])
+		}).Time
+	}
+	res.OriginalSimulated = run(topology.AdjacentMapping{Q: 4})
+	res.ImprovedSimulated = run(topology.RoundRobinMapping{Q: 4})
+
+	section(w, "Figure 7: all-reduce, 8 nodes in 2 supernodes (q=4)")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "variant\tanalytic (Eqns 2-6)\tsimulated")
+	fmt.Fprintf(tw, "original (adjacent)\t%s\t%s\n", fmtTime(res.OriginalAnalytic), fmtTime(res.OriginalSimulated))
+	fmt.Fprintf(tw, "improved (round-robin)\t%s\t%s\n", fmtTime(res.ImprovedAnalytic), fmtTime(res.ImprovedSimulated))
+	fmt.Fprintf(tw, "improvement\t%.2fx\t%.2fx\n",
+		res.OriginalAnalytic/res.ImprovedAnalytic,
+		res.OriginalSimulated/res.ImprovedSimulated)
+	tw.Flush()
+	return res
+}
+
+// ScalingSeries is one curve of Figs. 10/11.
+type ScalingSeries struct {
+	Model    string
+	SubBatch int
+	Points   []train.ScalePoint
+}
+
+var scalingNodeCounts = []int{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// scalingWorkloads are the five series of Figs. 10 and 11.
+func scalingWorkloads() []struct {
+	Model string
+	Batch int
+} {
+	return []struct {
+		Model string
+		Batch int
+	}{
+		{"alexnet-bn", 64}, {"alexnet-bn", 128}, {"alexnet-bn", 256},
+		{"resnet50", 32}, {"resnet50", 64},
+	}
+}
+
+// Figure10 prints the speedup curves of paper Fig. 10 (strong-per-node
+// scaling of AlexNet and ResNet-50 to 1024 nodes).
+func Figure10(w io.Writer) []ScalingSeries {
+	var out []ScalingSeries
+	section(w, "Figure 10: scalability of swCaffe (speedup over 1 node)")
+	tw := newTab(w)
+	fmt.Fprint(tw, "nodes")
+	for _, wl := range scalingWorkloads() {
+		fmt.Fprintf(tw, "\t%s B=%d", shortName(wl.Model), wl.Batch)
+	}
+	fmt.Fprintln(tw, "\tideal")
+	series := make([][]train.ScalePoint, 0)
+	for _, wl := range scalingWorkloads() {
+		pts, err := train.Sweep(train.ScalingConfig{Model: wl.Model, SubBatch: wl.Batch}, scalingNodeCounts)
+		if err != nil {
+			panic(err)
+		}
+		series = append(series, pts)
+		out = append(out, ScalingSeries{Model: wl.Model, SubBatch: wl.Batch, Points: pts})
+	}
+	for i, p := range scalingNodeCounts {
+		fmt.Fprintf(tw, "%d", p)
+		for _, s := range series {
+			fmt.Fprintf(tw, "\t%.1f", s[i].Speedup)
+		}
+		fmt.Fprintf(tw, "\t%d\n", p)
+	}
+	tw.Flush()
+	return out
+}
+
+// Figure11 prints the communication-share curves of paper Fig. 11.
+func Figure11(w io.Writer) []ScalingSeries {
+	var out []ScalingSeries
+	section(w, "Figure 11: communication time share (%) per iteration")
+	tw := newTab(w)
+	fmt.Fprint(tw, "nodes")
+	for _, wl := range scalingWorkloads() {
+		fmt.Fprintf(tw, "\t%s B=%d", shortName(wl.Model), wl.Batch)
+	}
+	fmt.Fprintln(tw)
+	series := make([][]train.ScalePoint, 0)
+	for _, wl := range scalingWorkloads() {
+		pts, err := train.Sweep(train.ScalingConfig{Model: wl.Model, SubBatch: wl.Batch}, scalingNodeCounts)
+		if err != nil {
+			panic(err)
+		}
+		series = append(series, pts)
+		out = append(out, ScalingSeries{Model: wl.Model, SubBatch: wl.Batch, Points: pts})
+	}
+	for i, p := range scalingNodeCounts {
+		fmt.Fprintf(tw, "%d", p)
+		for _, s := range series {
+			fmt.Fprintf(tw, "\t%.2f", s[i].CommFraction*100)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	return out
+}
+
+func shortName(model string) string {
+	switch model {
+	case "alexnet-bn", "alexnet-lrn":
+		return "AlexNet"
+	case "resnet50":
+		return "ResNet50"
+	case "vgg16":
+		return "VGG-16"
+	case "vgg19":
+		return "VGG-19"
+	case "googlenet":
+		return "GoogleNet"
+	}
+	return model
+}
+
+// IOStripingRow is one configuration of the Sec. V-B study.
+type IOStripingRow struct {
+	Stripes     int
+	Procs       int
+	ReadTime    float64
+	AggregateGB float64
+}
+
+// IOStriping evaluates mini-batch read time under the default
+// single-split layout versus the 32-stripe/256 MB layout swCaffe
+// configures (paper Sec. V-B; no figure in the paper, reported as the
+// X1 experiment in DESIGN.md).
+func IOStriping(w io.Writer) []IOStripingRow {
+	batch := pario.ImageNetBatchBytes(256) // ~192 MB, the paper's example
+	var rows []IOStripingRow
+	section(w, "Sec. V-B: parallel input, 256-image mini-batch (~192 MB) per process")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "stripes\tprocs\tread time\taggregate GB/s")
+	for _, stripes := range []int{1, 32} {
+		cfg := pario.DefaultTaihuLight(stripes)
+		for _, procs := range []int{1, 8, 32, 128, 512, 1024} {
+			r := IOStripingRow{
+				Stripes:     stripes,
+				Procs:       procs,
+				ReadTime:    cfg.ReadTime(procs, batch),
+				AggregateGB: cfg.AggregateBandwidth(procs, batch) / 1e9,
+			}
+			rows = append(rows, r)
+			fmt.Fprintf(tw, "%d\t%d\t%s\t%.1f\n", stripes, procs, fmtTime(r.ReadTime), r.AggregateGB)
+		}
+	}
+	tw.Flush()
+	return rows
+}
+
+// PackRow compares per-layer vs packed all-reduce for one model.
+type PackRow struct {
+	Model    string
+	Nodes    int
+	PerLayer float64
+	Packed   float64
+}
+
+// PackAblation evaluates the gradient-packing optimization of
+// Sec. V-A: one all-reduce over the concatenated gradients versus one
+// per layer (VGG-16 spans 1.7 KB to 411 MB across its blobs).
+func PackAblation(w io.Writer) []PackRow {
+	net := topology.Sunway()
+	var rows []PackRow
+	section(w, "Ablation: packed vs per-layer gradient all-reduce (improved RHD)")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "model\tnodes\tper-layer\tpacked\tspeedup")
+	for _, name := range []string{"alexnet-bn", "vgg16", "resnet50"} {
+		build, _ := models.ByName(name)
+		spec := build(1)
+		var sizes []int64
+		for i := range spec.Layers {
+			if p := spec.Layers[i].Params(); p > 0 {
+				sizes = append(sizes, p*4)
+			}
+		}
+		for _, p := range []int{64, 1024} {
+			r := PackRow{
+				Model: name, Nodes: p,
+				PerLayer: allreduce.PerLayerAllreduceCost(net, p, sizes, true),
+				Packed:   allreduce.PackedAllreduceCost(net, p, sizes, true),
+			}
+			rows = append(rows, r)
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%.2fx\n", name, p, fmtTime(r.PerLayer), fmtTime(r.Packed), r.PerLayer/r.Packed)
+		}
+	}
+	tw.Flush()
+	return rows
+}
+
+// AllreduceRow is one point of the algorithm sweep ablation.
+type AllreduceRow struct {
+	Algorithm string
+	Nodes     int
+	Bytes     float64
+	Time      float64
+}
+
+// AllreduceAblation sweeps the four all-reduce variants over node
+// counts and message sizes (the X2 ablation of DESIGN.md), using the
+// analytic cost models.
+func AllreduceAblation(w io.Writer) []AllreduceRow {
+	net := topology.Sunway()
+	var rows []AllreduceRow
+	section(w, "Ablation: all-reduce algorithm sweep (analytic, adjacent vs topo-aware)")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "bytes\tnodes\tring\tbinomial\tRHD adjacent\tRHD round-robin")
+	for _, nBytes := range []float64{1.7e3, 1e6, 97.7e6, 232.6e6} {
+		for _, p := range []int{8, 64, 256, 1024} {
+			ring := allreduce.RingCost(net, p, nBytes, true).Total()
+			bin := allreduce.BinomialCost(net, p, nBytes, true).Total()
+			adj := allreduce.OriginalRHDCost(net, p, nBytes, true).Total()
+			rr := allreduce.ImprovedRHDCost(net, p, nBytes, true).Total()
+			rows = append(rows,
+				AllreduceRow{"ring", p, nBytes, ring},
+				AllreduceRow{"binomial", p, nBytes, bin},
+				AllreduceRow{"rhd-adjacent", p, nBytes, adj},
+				AllreduceRow{"rhd-roundrobin", p, nBytes, rr},
+			)
+			fmt.Fprintf(tw, "%.4g\t%d\t%s\t%s\t%s\t%s\n", nBytes, p,
+				fmtTime(ring), fmtTime(bin), fmtTime(adj), fmtTime(rr))
+		}
+	}
+	tw.Flush()
+	return rows
+}

@@ -1,0 +1,360 @@
+// Package netdef parses a small text format for network definitions —
+// the role Caffe's prototxt plays — so tools and tests can describe
+// models without writing Go. The format is line-oriented:
+//
+//	name: tiny
+//	input: data 32 1 8 8
+//	input: label 32 1 1 1
+//	conv conv1 data conv1 out=8 kernel=3 stride=1 pad=1 bias=true
+//	bn bn1 conv1 conv1
+//	relu relu1 conv1 conv1
+//	pool pool1 conv1 pool1 method=max kernel=2 stride=2
+//	fc fc1 pool1 fc1 out=32 bias=true
+//	dropout drop1 fc1 fc1 ratio=0.5
+//	eltwise sum a,b y op=sum
+//	concat cat a,b,c y
+//	softmaxloss loss fc1 label loss
+//	accuracy acc fc1 label acc topk=1
+//
+// '#' starts a comment; blank lines are ignored. Layer lines are
+// "<kind> <name> <bottom[,bottom...]> <top> [key=value...]".
+package netdef
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"swcaffe/internal/core"
+	"swcaffe/internal/tensor"
+)
+
+// Definition is a parsed network description.
+type Definition struct {
+	Name   string
+	Inputs map[string][4]int
+	Net    *core.Net
+}
+
+// Parse reads a definition and constructs the (un-setup) net.
+func Parse(r io.Reader) (*Definition, error) {
+	def := &Definition{Name: "net", Inputs: map[string][4]int{}}
+	var layers []core.Layer
+	var inputOrder []string
+
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "name:"):
+			def.Name = strings.TrimSpace(strings.TrimPrefix(line, "name:"))
+		case strings.HasPrefix(line, "input:"):
+			fields := strings.Fields(strings.TrimPrefix(line, "input:"))
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("netdef:%d: input wants 'name n c h w'", lineNo)
+			}
+			var dims [4]int
+			for i := 0; i < 4; i++ {
+				v, err := strconv.Atoi(fields[i+1])
+				if err != nil || v <= 0 {
+					return nil, fmt.Errorf("netdef:%d: bad input dim %q", lineNo, fields[i+1])
+				}
+				dims[i] = v
+			}
+			def.Inputs[fields[0]] = dims
+			inputOrder = append(inputOrder, fields[0])
+		default:
+			l, err := parseLayer(line, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			layers = append(layers, l)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(def.Inputs) == 0 {
+		return nil, fmt.Errorf("netdef: no input blobs declared")
+	}
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("netdef: no layers declared")
+	}
+	def.Net = core.NewNet(def.Name, inputOrder...)
+	def.Net.AddLayers(layers...)
+	return def, nil
+}
+
+// Build sets the net up with freshly allocated input tensors and
+// returns them.
+func (d *Definition) Build() (map[string]*tensor.Tensor, error) {
+	inputs := make(map[string]*tensor.Tensor, len(d.Inputs))
+	for name, dims := range d.Inputs {
+		inputs[name] = tensor.New(dims[0], dims[1], dims[2], dims[3])
+	}
+	if err := d.Net.Setup(inputs); err != nil {
+		return nil, err
+	}
+	return inputs, nil
+}
+
+type kvArgs struct {
+	line int
+	m    map[string]string
+	seen map[string]bool
+}
+
+func parseKV(fields []string, line int) (*kvArgs, error) {
+	a := &kvArgs{line: line, m: map[string]string{}, seen: map[string]bool{}}
+	for _, f := range fields {
+		eq := strings.IndexByte(f, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("netdef:%d: expected key=value, got %q", line, f)
+		}
+		a.m[f[:eq]] = f[eq+1:]
+	}
+	return a, nil
+}
+
+func (a *kvArgs) int(key string, def int) (int, error) {
+	a.seen[key] = true
+	s, ok := a.m[key]
+	if !ok {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("netdef:%d: %s wants an integer, got %q", a.line, key, s)
+	}
+	return v, nil
+}
+
+func (a *kvArgs) float(key string, def float64) (float64, error) {
+	a.seen[key] = true
+	s, ok := a.m[key]
+	if !ok {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("netdef:%d: %s wants a number, got %q", a.line, key, s)
+	}
+	return v, nil
+}
+
+func (a *kvArgs) bool(key string, def bool) (bool, error) {
+	a.seen[key] = true
+	s, ok := a.m[key]
+	if !ok {
+		return def, nil
+	}
+	v, err := strconv.ParseBool(s)
+	if err != nil {
+		return false, fmt.Errorf("netdef:%d: %s wants a bool, got %q", a.line, key, s)
+	}
+	return v, nil
+}
+
+func (a *kvArgs) str(key, def string) string {
+	a.seen[key] = true
+	if s, ok := a.m[key]; ok {
+		return s
+	}
+	return def
+}
+
+func (a *kvArgs) unknown() error {
+	for k := range a.m {
+		if !a.seen[k] {
+			return fmt.Errorf("netdef:%d: unknown option %q", a.line, k)
+		}
+	}
+	return nil
+}
+
+func parseLayer(line string, lineNo int) (core.Layer, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return nil, fmt.Errorf("netdef:%d: layer wants '<kind> <name> <bottoms> <top> [opts]'", lineNo)
+	}
+	kind, name := fields[0], fields[1]
+	bottoms := strings.Split(fields[2], ",")
+	top := fields[3]
+	args, err := parseKV(fields[4:], lineNo)
+	if err != nil {
+		return nil, err
+	}
+	one := func() (string, error) {
+		if len(bottoms) != 1 {
+			return "", fmt.Errorf("netdef:%d: %s wants one bottom", lineNo, kind)
+		}
+		return bottoms[0], nil
+	}
+
+	var layer core.Layer
+	switch kind {
+	case "conv":
+		b, err := one()
+		if err != nil {
+			return nil, err
+		}
+		out, err := args.int("out", 0)
+		if err != nil {
+			return nil, err
+		}
+		k, err := args.int("kernel", 0)
+		if err != nil {
+			return nil, err
+		}
+		s, err := args.int("stride", 1)
+		if err != nil {
+			return nil, err
+		}
+		p, err := args.int("pad", 0)
+		if err != nil {
+			return nil, err
+		}
+		bias, err := args.bool("bias", true)
+		if err != nil {
+			return nil, err
+		}
+		if out <= 0 || k <= 0 {
+			return nil, fmt.Errorf("netdef:%d: conv needs out= and kernel=", lineNo)
+		}
+		layer = core.NewConv(core.ConvConfig{Name: name, Bottom: b, Top: top,
+			NumOutput: out, Kernel: k, Stride: s, Pad: p, BiasTerm: bias,
+			WeightInit: args.str("init", "")})
+	case "fc":
+		b, err := one()
+		if err != nil {
+			return nil, err
+		}
+		out, err := args.int("out", 0)
+		if err != nil {
+			return nil, err
+		}
+		bias, err := args.bool("bias", true)
+		if err != nil {
+			return nil, err
+		}
+		if out <= 0 {
+			return nil, fmt.Errorf("netdef:%d: fc needs out=", lineNo)
+		}
+		layer = core.NewInnerProduct(core.InnerProductConfig{Name: name, Bottom: b, Top: top,
+			NumOutput: out, BiasTerm: bias})
+	case "relu":
+		b, err := one()
+		if err != nil {
+			return nil, err
+		}
+		slope, err := args.float("slope", 0)
+		if err != nil {
+			return nil, err
+		}
+		layer = core.NewReLU(name, b, top, float32(slope))
+	case "pool":
+		b, err := one()
+		if err != nil {
+			return nil, err
+		}
+		k, err := args.int("kernel", 0)
+		if err != nil {
+			return nil, err
+		}
+		s, err := args.int("stride", 0)
+		if err != nil {
+			return nil, err
+		}
+		p, err := args.int("pad", 0)
+		if err != nil {
+			return nil, err
+		}
+		global, err := args.bool("global", false)
+		if err != nil {
+			return nil, err
+		}
+		method := core.MaxPool
+		if m := args.str("method", "max"); m == "avg" {
+			method = core.AvgPool
+		} else if m != "max" {
+			return nil, fmt.Errorf("netdef:%d: pool method %q", lineNo, m)
+		}
+		if k <= 0 && !global {
+			return nil, fmt.Errorf("netdef:%d: pool needs kernel= (or global=true)", lineNo)
+		}
+		layer = core.NewPool(core.PoolConfig{Name: name, Bottom: b, Top: top,
+			Method: method, Kernel: k, Stride: s, Pad: p, Global: global})
+	case "bn":
+		b, err := one()
+		if err != nil {
+			return nil, err
+		}
+		layer = core.NewBatchNorm(name, b, top)
+	case "scale":
+		b, err := one()
+		if err != nil {
+			return nil, err
+		}
+		layer = core.NewScale(name, b, top)
+	case "lrn":
+		b, err := one()
+		if err != nil {
+			return nil, err
+		}
+		layer = core.NewLRN(name, b, top)
+	case "dropout":
+		b, err := one()
+		if err != nil {
+			return nil, err
+		}
+		ratio, err := args.float("ratio", 0.5)
+		if err != nil {
+			return nil, err
+		}
+		layer = core.NewDropout(name, b, top, float32(ratio))
+	case "eltwise":
+		op := core.EltSum
+		switch args.str("op", "sum") {
+		case "sum":
+		case "prod":
+			op = core.EltProd
+		case "max":
+			op = core.EltMax
+		default:
+			return nil, fmt.Errorf("netdef:%d: eltwise op %q", lineNo, args.m["op"])
+		}
+		layer = core.NewEltwise(name, bottoms, top, op)
+	case "concat":
+		layer = core.NewConcat(name, bottoms, top)
+	case "softmaxloss":
+		if len(bottoms) != 2 {
+			return nil, fmt.Errorf("netdef:%d: softmaxloss wants 'scores,labels'", lineNo)
+		}
+		layer = core.NewSoftmaxLoss(name, bottoms[0], bottoms[1], top)
+	case "accuracy":
+		if len(bottoms) != 2 {
+			return nil, fmt.Errorf("netdef:%d: accuracy wants 'scores,labels'", lineNo)
+		}
+		topK, err := args.int("topk", 1)
+		if err != nil {
+			return nil, err
+		}
+		layer = core.NewAccuracy(name, bottoms[0], bottoms[1], top, topK)
+	default:
+		return nil, fmt.Errorf("netdef:%d: unknown layer kind %q", lineNo, kind)
+	}
+	if err := args.unknown(); err != nil {
+		return nil, err
+	}
+	return layer, nil
+}

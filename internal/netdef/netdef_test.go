@@ -1,0 +1,143 @@
+package netdef
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"swcaffe/internal/core"
+)
+
+const tinyDef = `
+# A small convnet in the text format.
+name: tiny
+input: data 8 1 8 8
+input: label 8 1 1 1
+
+conv conv1 data conv1 out=4 kernel=3 stride=1 pad=1 bias=true
+bn   bn1   conv1 conv1
+relu relu1 conv1 conv1
+pool pool1 conv1 pool1 method=max kernel=2 stride=2
+fc   fc1   pool1 fc1 out=16
+relu relu2 fc1 fc1
+dropout drop1 fc1 fc1 ratio=0.3
+fc   fc2   fc1 fc2 out=3
+softmaxloss loss fc2,label loss
+accuracy acc fc2,label acc topk=1
+`
+
+func TestParseAndTrain(t *testing.T) {
+	def, err := Parse(strings.NewReader(tinyDef))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Name != "tiny" {
+		t.Fatalf("name %q", def.Name)
+	}
+	if len(def.Net.Layers()) != 10 {
+		t.Fatalf("%d layers", len(def.Net.Layers()))
+	}
+	inputs, err := def.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(60))
+	inputs["data"].FillGaussian(rng, 0, 1)
+	for i := 0; i < 8; i++ {
+		inputs["label"].Data[i] = float32(i % 3)
+	}
+	solver := core.NewSolver(def.Net, core.SolverConfig{BaseLR: 0.1, Momentum: 0.9})
+	first := solver.Step()
+	var last float32
+	for i := 0; i < 50; i++ {
+		last = solver.Step()
+	}
+	if !(last < first) {
+		t.Fatalf("parsed net failed to train: %g -> %g", first, last)
+	}
+}
+
+func TestParseBranchyTopology(t *testing.T) {
+	def, err := Parse(strings.NewReader(`
+name: branchy
+input: data 2 4 6 6
+input: label 2 1 1 1
+conv a data a out=8 kernel=1
+conv b data b out=8 kernel=1
+eltwise sum a,b s op=sum
+conv c data c out=8 kernel=1
+concat cat s,c y
+pool gp y gp method=avg global=true
+fc out gp out 2
+softmaxloss loss out,label loss
+`))
+	if err == nil {
+		t.Fatal("expected error: fc 'out' given positionally, not as out=")
+	}
+	def, err = Parse(strings.NewReader(`
+name: branchy
+input: data 2 4 6 6
+input: label 2 1 1 1
+conv a data a out=8 kernel=1
+conv b data b out=8 kernel=1
+eltwise sum a,b s op=sum
+conv c data c out=8 kernel=1
+concat cat s,c y
+pool gp y gp method=avg global=true
+fc out gp out out=2
+softmaxloss loss out,label loss
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := def.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if got := def.Net.Blob("y").Shape(); got != [4]int{2, 16, 6, 6} {
+		t.Fatalf("concat output %v", got)
+	}
+	if got := def.Net.Blob("gp").Shape(); got != [4]int{2, 16, 1, 1} {
+		t.Fatalf("global pool output %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		def  string
+	}{
+		{"no inputs", "conv c1 data y out=2 kernel=1\n"},
+		{"no layers", "input: data 1 1 2 2\n"},
+		{"bad dim", "input: data 1 x 2 2\nconv c data y out=2 kernel=1\n"},
+		{"unknown kind", "input: data 1 1 2 2\nwarp w data y\n"},
+		{"conv missing kernel", "input: data 1 1 4 4\nconv c data y out=2\n"},
+		{"unknown option", "input: data 1 1 4 4\nconv c data y out=2 kernel=1 frob=3\n"},
+		{"bad bool", "input: data 1 1 4 4\nconv c data y out=2 kernel=1 bias=perhaps\n"},
+		{"bad eltwise op", "input: data 1 1 4 4\neltwise e data,data y op=xor\n"},
+		{"softmaxloss arity", "input: data 1 1 4 4\nsoftmaxloss l data y\n"},
+		{"garbage kv", "input: data 1 1 4 4\nconv c data y out=2 kernel=1 =7\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.def)); err == nil {
+			t.Errorf("%s: expected parse error", c.name)
+		}
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	def, err := Parse(strings.NewReader(`
+# leading comment
+name: ws     # trailing comment on name? no: whole line after # ignored
+
+input: data 1 1 2 2     # dims
+input: label 1 1 1 1
+fc f data y out=2       # a layer
+softmaxloss loss y,label loss
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := def.Build(); err != nil {
+		t.Fatal(err)
+	}
+}

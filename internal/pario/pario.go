@@ -1,0 +1,136 @@
+// Package pario models the shared-filesystem input pipeline of
+// TaihuLight (paper Sec. V-B). The file system distributes a dataset
+// file over disk arrays; by default ("single-split mode") one file
+// lives entirely on one array, so concurrent readers quickly saturate
+// that array's bandwidth. swCaffe raises the stripe count to 32 with
+// 256 MB blocks, spreading a mini-batch read over at most two arrays
+// per process and dividing the readers per array by the stripe count.
+package pario
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config describes a striped dataset layout on the disk arrays.
+type Config struct {
+	// Arrays is the number of disk arrays in the storage system.
+	Arrays int
+	// ArrayBandwidth is the sustained read bandwidth of one array,
+	// bytes/second.
+	ArrayBandwidth float64
+	// StripeCount is the number of arrays a single file is spread
+	// over (1 = the default single-split mode).
+	StripeCount int
+	// StripeSize is the striping block size in bytes (swCaffe uses
+	// 256 MB).
+	StripeSize int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Arrays <= 0 || c.ArrayBandwidth <= 0 {
+		return fmt.Errorf("pario: need positive arrays/bandwidth, got %+v", c)
+	}
+	if c.StripeCount <= 0 || c.StripeCount > c.Arrays {
+		return fmt.Errorf("pario: stripe count %d out of range [1,%d]", c.StripeCount, c.Arrays)
+	}
+	if c.StripeSize <= 0 {
+		return fmt.Errorf("pario: stripe size must be positive")
+	}
+	return nil
+}
+
+// DefaultTaihuLight returns the storage configuration of Sec. V-B:
+// 32 disk arrays (we expose 32 as the pool the paper stripes over) at
+// ~2 GB/s each.
+func DefaultTaihuLight(stripes int) Config {
+	return Config{
+		Arrays:         32,
+		ArrayBandwidth: 2e9,
+		StripeCount:    stripes,
+		StripeSize:     256 << 20,
+	}
+}
+
+// ArraysPerRead returns how many distinct arrays one contiguous read
+// of readBytes touches. With 256 MB stripes and ~192 MB mini-batches,
+// "a single process can access at most two disk arrays" (Sec. V-B).
+func (c Config) ArraysPerRead(readBytes int64) int {
+	if c.StripeCount == 1 {
+		return 1
+	}
+	spans := int(readBytes/c.StripeSize) + 1
+	if readBytes%c.StripeSize != 0 {
+		spans = int((readBytes+c.StripeSize-1)/c.StripeSize) + 1
+	}
+	if spans > c.StripeCount {
+		spans = c.StripeCount
+	}
+	return spans
+}
+
+// ReadersPerArray returns the worst-case number of concurrent readers
+// sharing one array when procs processes each issue one mini-batch
+// read. Random mini-batch offsets spread uniformly over stripes, so
+// the expected load is procs·arraysPerRead/stripeCount (the paper's
+// N/32·2 bound).
+func (c Config) ReadersPerArray(procs int, readBytes int64) float64 {
+	per := float64(c.ArraysPerRead(readBytes))
+	if c.StripeCount == 1 {
+		return float64(procs)
+	}
+	load := float64(procs) * per / float64(c.StripeCount)
+	if load < 1 {
+		load = 1
+	}
+	return load
+}
+
+// ReadTime returns the wall time for procs concurrent processes to
+// each read readBytes of mini-batch data.
+func (c Config) ReadTime(procs int, readBytes int64) float64 {
+	if procs <= 0 || readBytes <= 0 {
+		return 0
+	}
+	readers := c.ReadersPerArray(procs, readBytes)
+	perProcBW := c.ArrayBandwidth / readers * float64(c.ArraysPerRead(readBytes))
+	// A single reader cannot exceed one array's worth per span.
+	if lim := c.ArrayBandwidth * float64(c.ArraysPerRead(readBytes)); perProcBW > lim {
+		perProcBW = lim
+	}
+	return float64(readBytes) / perProcBW
+}
+
+// AggregateBandwidth returns the total achieved read bandwidth with
+// procs concurrent readers, bytes/second.
+func (c Config) AggregateBandwidth(procs int, readBytes int64) float64 {
+	t := c.ReadTime(procs, readBytes)
+	if t == 0 {
+		return 0
+	}
+	return float64(procs) * float64(readBytes) / t
+}
+
+// Prefetcher models swCaffe's per-worker I/O thread: it fetches the
+// next mini-batch while the current one trains, so the exposed I/O
+// cost per iteration is max(0, readTime − computeTime).
+type Prefetcher struct {
+	Config    Config
+	Procs     int
+	BatchSize int64 // bytes per mini-batch per process
+}
+
+// ExposedTime returns the non-overlapped I/O time per iteration given
+// the compute time of one iteration.
+func (p Prefetcher) ExposedTime(computeTime float64) float64 {
+	rt := p.Config.ReadTime(p.Procs, p.BatchSize)
+	return math.Max(0, rt-computeTime)
+}
+
+// ImageNetBatchBytes returns the paper's working figure for a
+// mini-batch of ImageNet images: "the data size for this mini-batch is
+// around 192 MB" for 256 images, i.e. ~768 KB per raw image.
+func ImageNetBatchBytes(images int) int64 {
+	return int64(images) * 768 << 10
+}

@@ -1,0 +1,138 @@
+package pario
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	good := DefaultTaihuLight(32)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []Config{
+		{Arrays: 0, ArrayBandwidth: 1e9, StripeCount: 1, StripeSize: 1},
+		{Arrays: 4, ArrayBandwidth: 1e9, StripeCount: 8, StripeSize: 1}, // stripes > arrays
+		{Arrays: 4, ArrayBandwidth: 1e9, StripeCount: 2, StripeSize: 0},
+		{Arrays: 4, ArrayBandwidth: -1, StripeCount: 2, StripeSize: 1},
+	}
+	for i, c := range bads {
+		if c.Validate() == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestArraysPerRead(t *testing.T) {
+	cfg := DefaultTaihuLight(32)
+	// Paper Sec. V-B: a 192 MB read with 256 MB stripes touches at
+	// most two arrays.
+	if n := cfg.ArraysPerRead(ImageNetBatchBytes(256)); n != 2 {
+		t.Fatalf("192 MB read touches %d arrays, want 2", n)
+	}
+	single := DefaultTaihuLight(1)
+	if n := single.ArraysPerRead(ImageNetBatchBytes(256)); n != 1 {
+		t.Fatalf("single-split read touches %d arrays", n)
+	}
+	// A giant read cannot touch more arrays than there are stripes.
+	if n := cfg.ArraysPerRead(100 << 30); n > 32 {
+		t.Fatalf("read touches %d arrays, max 32", n)
+	}
+}
+
+func TestReadersPerArrayBound(t *testing.T) {
+	cfg := DefaultTaihuLight(32)
+	batch := ImageNetBatchBytes(256)
+	// Paper: "the number of processes required per disk array is also
+	// reduced to at most N/32 x 2".
+	for _, n := range []int{64, 256, 1024} {
+		got := cfg.ReadersPerArray(n, batch)
+		bound := float64(n) / 32 * 2
+		if got > bound+1e-9 {
+			t.Fatalf("N=%d: %g readers per array exceeds the paper's bound %g", n, got, bound)
+		}
+	}
+	// Single-split: every process hammers the one array.
+	single := DefaultTaihuLight(1)
+	if got := single.ReadersPerArray(512, batch); got != 512 {
+		t.Fatalf("single-split readers = %g, want 512", got)
+	}
+}
+
+func TestStripingImprovesReadTime(t *testing.T) {
+	batch := ImageNetBatchBytes(256)
+	single := DefaultTaihuLight(1)
+	striped := DefaultTaihuLight(32)
+	for _, n := range []int{32, 256, 1024} {
+		ts := single.ReadTime(n, batch)
+		tt := striped.ReadTime(n, batch)
+		if tt >= ts {
+			t.Fatalf("N=%d: striping did not help (%g vs %g)", n, tt, ts)
+		}
+		// At scale the improvement approaches the stripe count / spans.
+		if n >= 256 {
+			if ratio := ts / tt; ratio < 8 {
+				t.Fatalf("N=%d: striping speedup only %.1fx", n, ratio)
+			}
+		}
+	}
+}
+
+func TestAggregateBandwidthSaturates(t *testing.T) {
+	single := DefaultTaihuLight(1)
+	batch := ImageNetBatchBytes(256)
+	// Paper: "the aggregate read bandwidth ... can quickly reach the
+	// upper limit of a single disk array".
+	agg := single.AggregateBandwidth(1024, batch)
+	if agg > single.ArrayBandwidth*1.01 {
+		t.Fatalf("single-split aggregate %g exceeds one array's %g", agg, single.ArrayBandwidth)
+	}
+	striped := DefaultTaihuLight(32)
+	aggS := striped.AggregateBandwidth(1024, batch)
+	if aggS < 10*agg {
+		t.Fatalf("striped aggregate %g should dwarf single-split %g", aggS, agg)
+	}
+	// And cannot exceed the whole pool.
+	if aggS > striped.ArrayBandwidth*float64(striped.Arrays)*1.01 {
+		t.Fatalf("aggregate %g exceeds pool capacity", aggS)
+	}
+}
+
+func TestPrefetcherOverlap(t *testing.T) {
+	pre := Prefetcher{Config: DefaultTaihuLight(32), Procs: 256, BatchSize: ImageNetBatchBytes(256)}
+	rt := pre.Config.ReadTime(256, pre.BatchSize)
+	// Fully hidden when compute exceeds the read.
+	if got := pre.ExposedTime(rt * 2); got != 0 {
+		t.Fatalf("exposed %g, want 0", got)
+	}
+	// Partially exposed otherwise.
+	if got := pre.ExposedTime(rt / 2); got <= 0 || got > rt {
+		t.Fatalf("exposed %g out of range (0, %g]", got, rt)
+	}
+}
+
+func TestReadTimeProperties(t *testing.T) {
+	f := func(stripeSel, procSel uint8) bool {
+		stripes := []int{1, 2, 8, 32}[stripeSel%4]
+		procs := []int{1, 16, 128, 1024}[procSel%4]
+		cfg := DefaultTaihuLight(stripes)
+		batch := ImageNetBatchBytes(256)
+		rt := cfg.ReadTime(procs, batch)
+		if rt <= 0 {
+			return false
+		}
+		// More processes can never make an individual read faster.
+		return cfg.ReadTime(procs*2, batch) >= rt-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImageNetBatchBytes(t *testing.T) {
+	// The paper's figure: 256 images ~ 192 MB.
+	got := float64(ImageNetBatchBytes(256)) / 1e6
+	if got < 180 || got > 210 {
+		t.Fatalf("256-image batch = %.0f MB, want ~192-200", got)
+	}
+}

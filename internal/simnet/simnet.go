@@ -1,0 +1,219 @@
+// Package simnet is a discrete-event message-passing simulator for
+// clusters: each node runs its part of a collective algorithm as a
+// goroutine with a logical clock; point-to-point transfers advance the
+// clocks by the α+βn cost model of the paper (Sec. V-A, ref [14]),
+// with β chosen per-link from the supernode topology. It plays the
+// role MPI plays in swCaffe: the collective algorithms in
+// internal/allreduce run unmodified on top of it.
+//
+// Payloads are real float32 slices, so the same runs validate
+// numerical correctness; for large-scale timing studies BytesPerElem
+// can inflate the virtual wire size so that a short vector stands in
+// for a multi-hundred-megabyte gradient without allocating it.
+package simnet
+
+import (
+	"fmt"
+	"sync"
+
+	"swcaffe/internal/topology"
+)
+
+// Cluster couples a network parameter set, a rank mapping and the
+// per-node state for one collective run.
+type Cluster struct {
+	Net     *topology.Network
+	Mapping topology.Mapping
+	P       int // number of nodes
+
+	// BytesPerElem is the virtual wire size of one payload element
+	// (default 4 = float32). Raise it to simulate large gradients with
+	// small host buffers.
+	BytesPerElem float64
+
+	// ReduceOnCPE selects the CPE-cluster reduction rate (the paper's
+	// optimization) instead of the MPE rate.
+	ReduceOnCPE bool
+
+	mu     sync.Mutex
+	inbox  map[[2]int]chan wire // (src, dst) -> channel
+	clocks []float64
+}
+
+type wire struct {
+	data     []float32
+	sendTime float64
+}
+
+// NewCluster builds a cluster of p nodes.
+func NewCluster(net *topology.Network, mapping topology.Mapping, p int) *Cluster {
+	if p <= 0 {
+		panic("simnet: cluster size must be positive")
+	}
+	return &Cluster{
+		Net: net, Mapping: mapping, P: p,
+		BytesPerElem: 4,
+		inbox:        make(map[[2]int]chan wire),
+		clocks:       make([]float64, p),
+	}
+}
+
+func (c *Cluster) channel(src, dst int) chan wire {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := [2]int{src, dst}
+	ch, ok := c.inbox[key]
+	if !ok {
+		ch = make(chan wire, 8)
+		c.inbox[key] = ch
+	}
+	return ch
+}
+
+// Node is the per-rank handle passed to collective algorithm bodies.
+type Node struct {
+	Rank    int
+	cluster *Cluster
+	clock   float64
+}
+
+// Clock returns the node's logical time in seconds.
+func (n *Node) Clock() float64 { return n.clock }
+
+// AdvanceClock adds local computation time.
+func (n *Node) AdvanceClock(dt float64) { n.clock += dt }
+
+// P returns the cluster size.
+func (n *Node) P() int { return n.cluster.P }
+
+func (c *Cluster) linkCost(a, b int, elems int) (alpha, transfer float64) {
+	bytes := int64(float64(elems) * c.BytesPerElem)
+	same := topology.SameSupernode(c.Mapping, a, b, c.P)
+	return c.Net.Alpha(bytes), float64(bytes) * c.Net.Beta(same)
+}
+
+// Send posts data to peer. The send occupies the sender for the full
+// α+βn (blocking send, as the MPI_Send the paper's collectives use).
+func (n *Node) Send(peer int, data []float32) {
+	if peer == n.Rank {
+		panic("simnet: send to self")
+	}
+	alpha, transfer := n.cluster.linkCost(n.Rank, peer, len(data))
+	n.cluster.channel(n.Rank, peer) <- wire{data: data, sendTime: n.clock}
+	n.clock += alpha + transfer
+}
+
+// Recv blocks for a message from peer and advances the clock to the
+// arrival time: max(local, remote-send) + α + βn.
+func (n *Node) Recv(peer int) []float32 {
+	m := <-n.cluster.channel(peer, n.Rank)
+	alpha, transfer := n.cluster.linkCost(peer, n.Rank, len(m.data))
+	start := n.clock
+	if m.sendTime > start {
+		start = m.sendTime
+	}
+	n.clock = start + alpha + transfer
+	return m.data
+}
+
+// SendRecv exchanges messages with peer; the two directions proceed
+// concurrently over the bidirectional link, so the node pays one
+// α+βn for the larger of the two transfers.
+func (n *Node) SendRecv(peer int, sendData []float32) []float32 {
+	if peer == n.Rank {
+		panic("simnet: sendrecv with self")
+	}
+	n.cluster.channel(n.Rank, peer) <- wire{data: sendData, sendTime: n.clock}
+	m := <-n.cluster.channel(peer, n.Rank)
+	elems := len(sendData)
+	if len(m.data) > elems {
+		elems = len(m.data)
+	}
+	alpha, transfer := n.cluster.linkCost(n.Rank, peer, elems)
+	start := n.clock
+	if m.sendTime > start {
+		start = m.sendTime
+	}
+	n.clock = start + alpha + transfer
+	return m.data
+}
+
+// ChargeReduce accounts the local element-wise reduction of elems
+// values (three streams: two reads and one write), on the MPE or the
+// CPE clusters depending on the cluster configuration.
+func (n *Node) ChargeReduce(elems int) {
+	bytes := float64(elems) * n.cluster.BytesPerElem
+	rate := n.cluster.Net.GammaMPE
+	if n.cluster.ReduceOnCPE {
+		rate = n.cluster.Net.GammaCPE
+	}
+	n.clock += bytes * rate
+}
+
+// Result summarizes one collective run.
+type Result struct {
+	// Time is the makespan: the maximum finishing clock over nodes.
+	Time float64
+	// MaxClock per node, for skew inspection.
+	Clocks []float64
+}
+
+// Run executes body on every rank concurrently and returns the
+// makespan. Each invocation starts from zeroed clocks. A panic on any
+// rank is re-raised on the calling goroutine.
+func (c *Cluster) Run(body func(n *Node)) Result {
+	var wg sync.WaitGroup
+	nodes := make([]*Node, c.P)
+	for r := 0; r < c.P; r++ {
+		nodes[r] = &Node{Rank: r, cluster: c}
+	}
+	wg.Add(c.P)
+	panicCh := make(chan string, c.P)
+	for r := 0; r < c.P; r++ {
+		go func(nd *Node) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					panicCh <- fmt.Sprintf("rank %d: %v", nd.Rank, rec)
+				}
+			}()
+			body(nd)
+		}(nodes[r])
+	}
+	// A panicking rank can leave peers blocked on its channels; do not
+	// insist on joining everyone before reporting the failure.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case msg := <-panicCh:
+		panic("simnet: node panic on " + msg)
+	case <-done:
+	}
+	select {
+	case msg := <-panicCh:
+		panic("simnet: node panic on " + msg)
+	default:
+	}
+	res := Result{Clocks: make([]float64, c.P)}
+	for r, nd := range nodes {
+		res.Clocks[r] = nd.clock
+		if nd.clock > res.Time {
+			res.Time = nd.clock
+		}
+	}
+	// Drain any stray messages so the next Run starts clean.
+	c.mu.Lock()
+	for k, ch := range c.inbox {
+		select {
+		case <-ch:
+			c.mu.Unlock()
+			panic(fmt.Sprintf("simnet: unconsumed message on link %v", k))
+		default:
+		}
+	}
+	c.mu.Unlock()
+	return res
+}

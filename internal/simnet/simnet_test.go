@@ -1,0 +1,165 @@
+package simnet
+
+import (
+	"testing"
+
+	"swcaffe/internal/topology"
+)
+
+func twoNodes() *Cluster {
+	net := topology.Sunway()
+	return NewCluster(net, topology.AdjacentMapping{Q: net.SupernodeSize}, 2)
+}
+
+func TestSendRecvPayload(t *testing.T) {
+	cl := twoNodes()
+	var got []float32
+	res := cl.Run(func(n *Node) {
+		if n.Rank == 0 {
+			n.Send(1, []float32{1, 2, 3})
+		} else {
+			got = n.Recv(0)
+		}
+	})
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("payload corrupted: %v", got)
+	}
+	want := cl.Net.P2PTime(12, true)
+	if res.Time < want*0.99 {
+		t.Fatalf("makespan %g below the α+βn cost %g", res.Time, want)
+	}
+}
+
+func TestRecvWaitsForSender(t *testing.T) {
+	cl := twoNodes()
+	var recvClock float64
+	const busy = 1.0 // the sender computes for 1 simulated second first
+	cl.Run(func(n *Node) {
+		if n.Rank == 0 {
+			n.AdvanceClock(busy)
+			n.Send(1, []float32{1})
+		} else {
+			n.Recv(0)
+			recvClock = n.Clock()
+		}
+	})
+	if recvClock < busy {
+		t.Fatalf("receiver finished at %g, before the sender was ready at %g", recvClock, busy)
+	}
+}
+
+func TestSendRecvExchangeSymmetric(t *testing.T) {
+	cl := twoNodes()
+	clocks := make([]float64, 2)
+	cl.Run(func(n *Node) {
+		peer := 1 - n.Rank
+		data := make([]float32, 1000)
+		in := n.SendRecv(peer, data)
+		if len(in) != 1000 {
+			t.Errorf("exchange lost data")
+		}
+		clocks[n.Rank] = n.Clock()
+	})
+	if clocks[0] != clocks[1] {
+		t.Fatalf("symmetric exchange should finish together: %g vs %g", clocks[0], clocks[1])
+	}
+}
+
+func TestCrossSupernodeCostsMore(t *testing.T) {
+	net := topology.Sunway()
+	net.SupernodeSize = 2 // ranks 0,1 local; 2,3 in another supernode
+	run := func(dst int) float64 {
+		cl := NewCluster(net, topology.AdjacentMapping{Q: 2}, 4)
+		return cl.Run(func(n *Node) {
+			switch {
+			case n.Rank == 0:
+				n.Send(dst, make([]float32, 1<<16))
+			case n.Rank == dst:
+				n.Recv(0)
+			}
+		}).Time
+	}
+	local, remote := run(1), run(2)
+	if remote <= local {
+		t.Fatalf("cross-supernode message (%g) should cost more than local (%g)", remote, local)
+	}
+	// β2 = 4β1, so a big message is ~4x slower (α amortized away).
+	if r := remote / local; r < 3 || r > 4.5 {
+		t.Fatalf("over-subscription ratio %g, want ~4", r)
+	}
+}
+
+func TestBytesPerElemScalesCost(t *testing.T) {
+	run := func(bpe float64) float64 {
+		cl := twoNodes()
+		cl.BytesPerElem = bpe
+		return cl.Run(func(n *Node) {
+			if n.Rank == 0 {
+				n.Send(1, make([]float32, 1<<16))
+			} else {
+				n.Recv(0)
+			}
+		}).Time
+	}
+	if t4, t4k := run(4), run(4096); t4k < 50*t4 {
+		t.Fatalf("virtual payload scaling broken: %g vs %g", t4, t4k)
+	}
+}
+
+func TestChargeReduceRates(t *testing.T) {
+	net := topology.Sunway()
+	mpe := NewCluster(net, topology.AdjacentMapping{Q: 256}, 1)
+	cpe := NewCluster(net, topology.AdjacentMapping{Q: 256}, 1)
+	cpe.ReduceOnCPE = true
+	var tMPE, tCPE float64
+	mpe.Run(func(n *Node) { n.ChargeReduce(1 << 20); tMPE = n.Clock() })
+	cpe.Run(func(n *Node) { n.ChargeReduce(1 << 20); tCPE = n.Clock() })
+	if tCPE >= tMPE {
+		t.Fatalf("CPE reduction (%g) must beat MPE (%g)", tCPE, tMPE)
+	}
+}
+
+func TestUnconsumedMessagePanics(t *testing.T) {
+	cl := twoNodes()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic about the unconsumed message")
+		}
+	}()
+	// Rank 1 never receives; the post-run drain check must object.
+	cl.Run(func(n *Node) {
+		if n.Rank == 0 {
+			n.Send(1, []float32{1})
+		}
+	})
+}
+
+func TestMakespanIsMaxClock(t *testing.T) {
+	net := topology.Sunway()
+	cl := NewCluster(net, topology.AdjacentMapping{Q: 256}, 4)
+	res := cl.Run(func(n *Node) {
+		n.AdvanceClock(float64(n.Rank))
+	})
+	if res.Time != 3 {
+		t.Fatalf("makespan %g, want 3", res.Time)
+	}
+	for r, c := range res.Clocks {
+		if c != float64(r) {
+			t.Fatalf("clock[%d] = %g", r, c)
+		}
+	}
+}
+
+func TestSelfSendPanics(t *testing.T) {
+	cl := twoNodes()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected self-send panic")
+		}
+	}()
+	cl.Run(func(n *Node) {
+		if n.Rank == 0 {
+			n.Send(0, []float32{1})
+		}
+	})
+}

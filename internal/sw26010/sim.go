@@ -1,0 +1,419 @@
+package sw26010
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Stats accumulates simulated activity for one kernel launch.
+type Stats struct {
+	DMAGetBytes int64
+	DMAPutBytes int64
+	RLCBytes    int64
+	RLCMsgs     int64
+	Flops       float64
+	DMATime     float64 // summed per-CPE DMA busy time
+	ComputeTime float64 // summed per-CPE compute busy time
+	RLCTime     float64 // summed per-CPE bus busy time
+	LDMHighTide int     // max LDM bytes live on any CPE
+}
+
+func (s *Stats) add(o *Stats) {
+	s.DMAGetBytes += o.DMAGetBytes
+	s.DMAPutBytes += o.DMAPutBytes
+	s.RLCBytes += o.RLCBytes
+	s.RLCMsgs += o.RLCMsgs
+	s.Flops += o.Flops
+	s.DMATime += o.DMATime
+	s.ComputeTime += o.ComputeTime
+	s.RLCTime += o.RLCTime
+	if o.LDMHighTide > s.LDMHighTide {
+		s.LDMHighTide = o.LDMHighTide
+	}
+}
+
+// message is one register-bus transfer. Payloads are carried as
+// float32 on the host; the bus charges double-precision width because
+// SW26010 has no single-precision RLC instructions (Sec. IV-A).
+type message struct {
+	data []float32
+	ts   float64 // sender's simulated clock when the message entered the bus
+}
+
+// CoreGroup is one of the four CGs of an SW26010: an 8x8 CPE mesh plus
+// register buses. A CoreGroup is single-kernel: Run launches a kernel
+// across the mesh and returns its simulated execution time.
+type CoreGroup struct {
+	Model *Model
+
+	// busDepth is the FIFO depth of each bus queue. The hardware FIFO
+	// is 4 messages deep; the functional simulator uses a deeper
+	// buffer purely to avoid host-side goroutine stalls (occupancy is
+	// not part of the timing model).
+	busDepth int
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// NewCoreGroup builds a CG around the given hardware model.
+func NewCoreGroup(m *Model) *CoreGroup {
+	if m == nil {
+		m = Default()
+	}
+	return &CoreGroup{Model: m, busDepth: 64}
+}
+
+// Stats returns the accumulated statistics of all kernels run so far.
+func (cg *CoreGroup) Stats() Stats {
+	cg.mu.Lock()
+	defer cg.mu.Unlock()
+	return cg.stats
+}
+
+// ResetStats clears accumulated statistics.
+func (cg *CoreGroup) ResetStats() {
+	cg.mu.Lock()
+	defer cg.mu.Unlock()
+	cg.stats = Stats{}
+}
+
+// CPE is one computing processing element executing inside a kernel.
+// All methods must be called only from the goroutine that runs the
+// kernel body for this CPE.
+type CPE struct {
+	Row, Col int // mesh coordinates, 0..7
+	ID       int // Row*8 + Col
+	Active   int // number of CPEs participating in this launch
+
+	cg    *CoreGroup
+	clock float64
+	stats Stats
+
+	ldmUsed int
+	ldmPeak int
+
+	rowIn [MeshDim]chan message // rowIn[srcCol]: messages from (Row, srcCol)
+	colIn [MeshDim]chan message // colIn[srcRow]: messages from (srcRow, Col)
+
+	barrier *barrier
+	peers   []*CPE
+}
+
+// Clock returns the CPE's simulated time in seconds since kernel launch.
+func (pe *CPE) Clock() float64 { return pe.clock }
+
+// AdvanceClock adds dt seconds of opaque busy time (used by planners
+// layering extra costs onto functional runs).
+func (pe *CPE) AdvanceClock(dt float64) { pe.clock += dt }
+
+// --- LDM management -------------------------------------------------
+
+// Alloc reserves n float32 slots of LDM and returns the buffer. It
+// panics if the 64 KB budget would be exceeded — kernels are expected
+// to plan their tiling so everything fits (Principle 2).
+func (pe *CPE) Alloc(n int) []float32 {
+	bytes := n * 4
+	if pe.ldmUsed+bytes > pe.cg.Model.LDMBudget {
+		panic(fmt.Sprintf("sw26010: CPE(%d,%d) LDM overflow: %d + %d > %d budget",
+			pe.Row, pe.Col, pe.ldmUsed, bytes, pe.cg.Model.LDMBudget))
+	}
+	pe.ldmUsed += bytes
+	if pe.ldmUsed > pe.ldmPeak {
+		pe.ldmPeak = pe.ldmUsed
+	}
+	return make([]float32, n)
+}
+
+// Release returns n float32 slots to the LDM budget (arena style: the
+// caller frees what it allocated, typically per outer-loop tile).
+func (pe *CPE) Release(n int) {
+	pe.ldmUsed -= n * 4
+	if pe.ldmUsed < 0 {
+		panic("sw26010: LDM release underflow")
+	}
+}
+
+// LDMUsed returns the live LDM bytes.
+func (pe *CPE) LDMUsed() int { return pe.ldmUsed }
+
+// --- DMA ------------------------------------------------------------
+
+// DMAGet copies len(dst) float32 values from main memory (src) into
+// LDM (dst) as one continuous transfer and charges the simulated cost.
+func (pe *CPE) DMAGet(dst, src []float32) {
+	if len(src) < len(dst) {
+		panic("sw26010: DMAGet source shorter than destination")
+	}
+	copy(dst, src[:len(dst)])
+	pe.chargeDMA(DMAGet, int64(len(dst))*4, int64(len(dst))*4)
+}
+
+// DMAPut copies len(src) float32 values from LDM (src) to main memory
+// (dst) as one continuous transfer.
+func (pe *CPE) DMAPut(dst, src []float32) {
+	if len(dst) < len(src) {
+		panic("sw26010: DMAPut destination shorter than source")
+	}
+	copy(dst, src)
+	pe.chargeDMA(DMAPut, int64(len(src))*4, int64(len(src))*4)
+}
+
+// DMAGetStrided gathers rows blocks of blockLen float32 values from
+// main memory, where consecutive blocks are srcStride elements apart,
+// into a packed LDM buffer. This is the strided DMA access pattern of
+// Fig. 2 (right): bandwidth depends on the block size.
+func (pe *CPE) DMAGetStrided(dst, src []float32, rows, blockLen, srcStride int) {
+	if len(dst) < rows*blockLen {
+		panic("sw26010: DMAGetStrided destination too small")
+	}
+	for r := 0; r < rows; r++ {
+		copy(dst[r*blockLen:(r+1)*blockLen], src[r*srcStride:r*srcStride+blockLen])
+	}
+	pe.chargeDMA(DMAGet, int64(rows*blockLen)*4, int64(blockLen)*4)
+}
+
+// DMAPutStrided scatters rows blocks of blockLen values from a packed
+// LDM buffer into main memory with stride dstStride.
+func (pe *CPE) DMAPutStrided(dst, src []float32, rows, blockLen, dstStride int) {
+	if len(src) < rows*blockLen {
+		panic("sw26010: DMAPutStrided source too small")
+	}
+	for r := 0; r < rows; r++ {
+		copy(dst[r*dstStride:r*dstStride+blockLen], src[r*blockLen:(r+1)*blockLen])
+	}
+	pe.chargeDMA(DMAPut, int64(rows*blockLen)*4, int64(blockLen)*4)
+}
+
+func (pe *CPE) chargeDMA(mode DMAMode, bytes, block int64) {
+	m := pe.cg.Model
+	bw := m.DMABandwidth(mode, bytes, pe.Active, block)
+	t := m.DMALatency + float64(bytes)/(bw/float64(pe.Active))
+	pe.clock += t
+	pe.stats.DMATime += t
+	if mode == DMAGet {
+		pe.stats.DMAGetBytes += bytes
+	} else {
+		pe.stats.DMAPutBytes += bytes
+	}
+}
+
+// --- Compute --------------------------------------------------------
+
+// ChargeFlops advances the clock by the time the CPE's SIMD pipeline
+// needs for n floating-point operations.
+func (pe *CPE) ChargeFlops(n float64) {
+	t := n / CPEPeakFlops
+	pe.clock += t
+	pe.stats.ComputeTime += t
+	pe.stats.Flops += n
+}
+
+// --- Register-level communication ------------------------------------
+
+func (pe *CPE) chargeRLCSend(bytes int64) float64 {
+	m := pe.cg.Model
+	eff := int64(float64(bytes) * m.SinglePrecisionRLCPenalty)
+	t := m.RLCTime(eff)
+	pe.clock += t
+	pe.stats.RLCTime += t
+	pe.stats.RLCBytes += eff
+	pe.stats.RLCMsgs += (eff + RLCGranule - 1) / RLCGranule
+	return pe.clock
+}
+
+func (pe *CPE) chargeRLCRecv(ts float64, bytes int64) {
+	m := pe.cg.Model
+	eff := int64(float64(bytes) * m.SinglePrecisionRLCPenalty)
+	t := m.RLCTime(eff)
+	if ts > pe.clock {
+		pe.clock = ts
+	}
+	pe.clock += t
+	pe.stats.RLCTime += t
+}
+
+// RowBroadcast sends data to every other CPE in the same row (the
+// hardware broadcast mode of the row register bus).
+func (pe *CPE) RowBroadcast(data []float32) {
+	ts := pe.chargeRLCSend(int64(len(data)) * 4)
+	msg := message{data: data, ts: ts}
+	for c := 0; c < MeshDim; c++ {
+		if c == pe.Col {
+			continue
+		}
+		pe.peer(pe.Row, c).rowIn[pe.Col] <- msg
+	}
+}
+
+// RowRecv receives a message sent on this row by the CPE in column
+// fromCol (either broadcast or P2P).
+func (pe *CPE) RowRecv(fromCol int) []float32 {
+	msg := <-pe.rowIn[fromCol]
+	pe.chargeRLCRecv(msg.ts, int64(len(msg.data))*4)
+	return msg.data
+}
+
+// RowSend performs a P2P transfer to (Row, toCol).
+func (pe *CPE) RowSend(toCol int, data []float32) {
+	if toCol == pe.Col {
+		panic("sw26010: RowSend to self")
+	}
+	ts := pe.chargeRLCSend(int64(len(data)) * 4)
+	pe.peer(pe.Row, toCol).rowIn[pe.Col] <- message{data: data, ts: ts}
+}
+
+// ColBroadcast sends data to every other CPE in the same column.
+func (pe *CPE) ColBroadcast(data []float32) {
+	ts := pe.chargeRLCSend(int64(len(data)) * 4)
+	msg := message{data: data, ts: ts}
+	for r := 0; r < MeshDim; r++ {
+		if r == pe.Row {
+			continue
+		}
+		pe.peer(r, pe.Col).colIn[pe.Row] <- msg
+	}
+}
+
+// ColRecv receives a message sent on this column by the CPE in row
+// fromRow.
+func (pe *CPE) ColRecv(fromRow int) []float32 {
+	msg := <-pe.colIn[fromRow]
+	pe.chargeRLCRecv(msg.ts, int64(len(msg.data))*4)
+	return msg.data
+}
+
+// ColSend performs a P2P transfer to (toRow, Col).
+func (pe *CPE) ColSend(toRow int, data []float32) {
+	if toRow == pe.Row {
+		panic("sw26010: ColSend to self")
+	}
+	ts := pe.chargeRLCSend(int64(len(data)) * 4)
+	pe.peer(toRow, pe.Col).colIn[pe.Row] <- message{data: data, ts: ts}
+}
+
+func (pe *CPE) peer(row, col int) *CPE { return pe.peers[row*MeshDim+col] }
+
+// Barrier synchronizes all CPEs of the launch and aligns their clocks
+// to the maximum (athread-style mesh synchronization).
+func (pe *CPE) Barrier() {
+	pe.clock = pe.barrier.wait(pe.clock)
+}
+
+// --- barrier ----------------------------------------------------------
+
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	waiting int
+	maxT    float64
+	gen     int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait(t float64) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t > b.maxT {
+		b.maxT = t
+	}
+	b.waiting++
+	gen := b.gen
+	if b.waiting == b.n {
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+		return b.maxT
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	return b.maxT
+}
+
+// --- kernel launch ----------------------------------------------------
+
+// Run launches kernel on the full 8x8 mesh (athread_spawn) and blocks
+// until all CPEs finish (athread_join). It returns the simulated
+// execution time: the maximum per-CPE clock.
+func (cg *CoreGroup) Run(kernel func(pe *CPE)) float64 {
+	return cg.RunN(CPEsPerCG, kernel)
+}
+
+// RunN launches kernel on the first n CPEs in row-major order. The
+// mesh buses are wired for all 64 positions, but only the first n
+// participate; DMA contention is charged for n active CPEs.
+func (cg *CoreGroup) RunN(n int, kernel func(pe *CPE)) float64 {
+	if n <= 0 || n > CPEsPerCG {
+		panic(fmt.Sprintf("sw26010: RunN n=%d out of range", n))
+	}
+	pes := make([]*CPE, CPEsPerCG)
+	bar := newBarrier(n)
+	for i := range pes {
+		pe := &CPE{Row: i / MeshDim, Col: i % MeshDim, ID: i, Active: n, cg: cg, barrier: bar}
+		for j := 0; j < MeshDim; j++ {
+			pe.rowIn[j] = make(chan message, cg.busDepth)
+			pe.colIn[j] = make(chan message, cg.busDepth)
+		}
+		pes[i] = pe
+	}
+	for _, pe := range pes {
+		pe.peers = pes
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	panicCh := make(chan string, n)
+	for i := 0; i < n; i++ {
+		go func(pe *CPE) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicCh <- fmt.Sprintf("CPE(%d,%d): %v", pe.Row, pe.Col, r)
+				}
+			}()
+			kernel(pe)
+		}(pes[i])
+	}
+	// Forward a kernel panic to the launching goroutine. A panicking
+	// CPE can leave peers blocked on buses or barriers, so do not
+	// insist on joining them first (a fatal path may leak goroutines).
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case msg := <-panicCh:
+		panic("sw26010: kernel panic on " + msg)
+	case <-done:
+	}
+	select {
+	case msg := <-panicCh:
+		panic("sw26010: kernel panic on " + msg)
+	default:
+	}
+
+	var maxClock float64
+	var agg Stats
+	for i := 0; i < n; i++ {
+		pe := pes[i]
+		if pe.clock > maxClock {
+			maxClock = pe.clock
+		}
+		if pe.ldmUsed != 0 {
+			panic(fmt.Sprintf("sw26010: CPE(%d,%d) leaked %d bytes of LDM", pe.Row, pe.Col, pe.ldmUsed))
+		}
+		pe.stats.LDMHighTide = pe.ldmPeak
+		agg.add(&pe.stats)
+	}
+	cg.mu.Lock()
+	cg.stats.add(&agg)
+	cg.mu.Unlock()
+	return maxClock
+}

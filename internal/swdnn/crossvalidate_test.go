@@ -1,0 +1,83 @@
+package swdnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"swcaffe/internal/sw26010"
+)
+
+// The planner and the functional simulator share the hardware model
+// but take independent code paths (closed-form sums vs per-CPE event
+// clocks). Cross-validate them: for LDM-resident GEMMs the plan's
+// estimate must land within a modest band of the simulated time.
+func TestGEMMPlanMatchesSimulatedTime(t *testing.T) {
+	hw := sw26010.Default()
+	cg := sw26010.NewCoreGroup(hw)
+	rng := rand.New(rand.NewSource(77))
+	for _, dim := range []struct{ m, k, n int }{
+		{64, 64, 64}, {128, 64, 128}, {256, 128, 64},
+	} {
+		a := randSlice(rng, dim.m*dim.k)
+		b := randSlice(rng, dim.k*dim.n)
+		c := make([]float32, dim.m*dim.n)
+		simT := GEMMRun(cg, a, b, c, dim.m, dim.k, dim.n)
+		plan := GEMMPlan(hw, dim.m, dim.k, dim.n)
+		ratio := simT / plan.Time
+		// The functional kernel serializes some transfers the planner
+		// overlaps, so it may run slower; it must never be wildly off.
+		if ratio < 0.5 || ratio > 6 {
+			t.Errorf("GEMM %v: simulated %.4g vs plan %.4g (ratio %.2f)", dim, simT, plan.Time, ratio)
+		}
+	}
+}
+
+// The simulator's accumulated DMA byte counts must equal the
+// analytically expected traffic of the blocked algorithm.
+func TestGEMMSimulatedTrafficAccounting(t *testing.T) {
+	hw := sw26010.Default()
+	cg := sw26010.NewCoreGroup(hw)
+	cg.ResetStats()
+	const m, k, n = 64, 64, 64
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	c := make([]float32, m*n)
+	GEMMRun(cg, a, b, c, m, k, n)
+	st := cg.Stats()
+	// Single macro-block: every operand element crosses the bus once
+	// for get (A, B, C) and C comes back once.
+	wantGet := int64((m*k + k*n + m*n) * 4)
+	wantPut := int64(m * n * 4)
+	if st.DMAGetBytes != wantGet {
+		t.Errorf("get bytes %d, want %d", st.DMAGetBytes, wantGet)
+	}
+	if st.DMAPutBytes != wantPut {
+		t.Errorf("put bytes %d, want %d", st.DMAPutBytes, wantPut)
+	}
+	// Register traffic: 8 steps x 64 CPEs exchanging their A and B
+	// tiles (each 8x8 of the 64x64), in double precision on the bus.
+	wantRLC := int64(8 * 7 * 2 * (8 * 8) * 8) // steps x receivers x {A,B} x tile elems x 8B
+	if st.RLCBytes < wantRLC/2 || st.RLCBytes > wantRLC*2 {
+		t.Errorf("RLC bytes %d, want ~%d", st.RLCBytes, wantRLC)
+	}
+	if st.Flops <= 2*float64(m)*float64(k)*float64(n) {
+		t.Errorf("flops %g too low", st.Flops)
+	}
+}
+
+// Im2colRun's simulated time should track the Im2colPlan estimate for
+// the single-image shape it executes.
+func TestIm2colPlanMatchesSimulatedTime(t *testing.T) {
+	hw := sw26010.Default()
+	cg := sw26010.NewCoreGroup(hw)
+	s := ConvShape{B: 1, Ni: 16, Ri: 24, Ci: 24, No: 1, K: 3, S: 1, P: 1}
+	src := make([]float32, s.Ni*s.Ri*s.Ci)
+	ro, co := s.OutDims()
+	dst := make([]float32, s.Ni*s.K*s.K*ro*co)
+	simT := Im2colRun(cg, src, s, dst)
+	plan := Im2colPlan(hw, s)
+	ratio := simT / plan.Time
+	if ratio < 0.3 || ratio > 8 {
+		t.Errorf("im2col: simulated %.4g vs plan %.4g (ratio %.2f)", simT, plan.Time, ratio)
+	}
+}

@@ -1,0 +1,361 @@
+package swdnn
+
+import (
+	"fmt"
+
+	"swcaffe/internal/sw26010"
+)
+
+// The GEMM kernel (paper Sec. IV-A, Fig. 3). C[m×n] += A[m×k] · B[k×n],
+// row-major. Matrices are partitioned across the 8×8 CPE mesh: CPE(i,j)
+// owns block (i,j) of each operand, sized (m/8 × k/8), (k/8 × n/8) and
+// (m/8 × n/8). The product is computed in 8 steps; at step t the owner
+// of A(i,t) broadcasts its tile along row i and the owner of B(t,j)
+// broadcasts its tile along column j over the register buses, so every
+// operand element is fetched from main memory exactly once (the optimal
+// flop-to-byte design of the paper).
+//
+// (The paper's prose swaps "row" and "column" relative to its own
+// Fig. 3; we implement the figure — the SUMMA broadcast pattern.)
+
+const mesh = sw26010.MeshDim
+
+// GEMMRun executes C += A·B functionally on the given core group and
+// returns the simulated kernel time. A, B and C live in simulated main
+// memory (host slices). Dimensions need not be multiples of 8: the MPE
+// zero-pads operands into aligned staging buffers first (charged as an
+// MPE-side cost in the returned time only through DMA of the padded
+// sizes, as swCaffe's staging does).
+func GEMMRun(cg *sw26010.CoreGroup, a, b, c []float32, m, k, n int) float64 {
+	checkGEMMArgs(a, b, c, m, k, n)
+	mp, kp, np := pad8(m), pad8(k), pad8(n)
+	ap, bp, cp := a, b, c
+	if mp != m || kp != k || np != n {
+		ap = padMatrix(a, m, k, mp, kp)
+		bp = padMatrix(b, k, n, kp, np)
+		cp = padMatrix(c, m, n, mp, np)
+	}
+	t := gemmPadded(cg, ap, bp, cp, mp, kp, np)
+	if mp != m || kp != k || np != n {
+		unpadMatrix(cp, c, m, n, np)
+	}
+	return t
+}
+
+func checkGEMMArgs(a, b, c []float32, m, k, n int) {
+	if m <= 0 || k <= 0 || n <= 0 {
+		panic(fmt.Sprintf("swdnn: GEMM dims (%d,%d,%d) must be positive", m, k, n))
+	}
+	if len(a) < m*k || len(b) < k*n || len(c) < m*n {
+		panic("swdnn: GEMM operand slice too short")
+	}
+}
+
+func pad8(x int) int { return (x + mesh - 1) / mesh * mesh }
+
+func padMatrix(src []float32, r, c, rp, cp int) []float32 {
+	dst := make([]float32, rp*cp)
+	for i := 0; i < r; i++ {
+		copy(dst[i*cp:i*cp+c], src[i*c:(i+1)*c])
+	}
+	return dst
+}
+
+func unpadMatrix(src, dst []float32, r, c, cp int) {
+	for i := 0; i < r; i++ {
+		copy(dst[i*c:(i+1)*c], src[i*cp:i*cp+c])
+	}
+}
+
+// gemmPadded runs the blocked SUMMA kernel for dimensions that are
+// multiples of 8. Macro-blocks of size (Bm, Bk, Bn) are chosen so the
+// per-CPE tiles plus two communication buffers fit the LDM budget;
+// inside each macro-block the mesh performs the 8-step register-
+// communication product.
+func gemmPadded(cg *sw26010.CoreGroup, a, b, c []float32, m, k, n int) float64 {
+	bm, bk, bn := chooseGEMMBlocks(cg.Model, m, k, n)
+	return cg.Run(func(pe *sw26010.CPE) {
+		i, j := pe.Row, pe.Col
+		tm, tk, tn := bm/mesh, bk/mesh, bn/mesh // per-CPE tile dims
+		at := pe.Alloc(tm * tk)
+		bt := pe.Alloc(tk * tn)
+		ct := pe.Alloc(tm * tn)
+		defer func() {
+			pe.Release(tm * tk)
+			pe.Release(tk * tn)
+			pe.Release(tm * tn)
+		}()
+		for bi := 0; bi < m; bi += bm {
+			for bj := 0; bj < n; bj += bn {
+				// Load this CPE's C tile: rows bi+i*tm .. , cols bj+j*tn ..
+				pe.DMAGetStrided(ct, c[(bi+i*tm)*n+bj+j*tn:], tm, tn, n)
+				for bt0 := 0; bt0 < k; bt0 += bk {
+					// Load A(i, j) and B(i, j) tiles of this macro-block.
+					pe.DMAGetStrided(at, a[(bi+i*tm)*k+bt0+j*tk:], tm, tk, k)
+					pe.DMAGetStrided(bt, b[(bt0+i*tk)*n+bj+j*tn:], tk, tn, n)
+					pe.Barrier()
+					for t := 0; t < mesh; t++ {
+						var aCur, bCur []float32
+						if j == t {
+							pe.RowBroadcast(at)
+							aCur = at
+						} else {
+							aCur = pe.RowRecv(t)
+						}
+						if i == t {
+							pe.ColBroadcast(bt)
+							bCur = bt
+						} else {
+							bCur = pe.ColRecv(t)
+						}
+						microGEMM(ct, aCur, bCur, tm, tk, tn)
+						pe.ChargeFlops(2 * float64(tm) * float64(tk) * float64(tn) / simdEfficiency)
+						pe.ChargeFlops(convertFlopPerElem * float64(tm*tk+tk*tn))
+					}
+					pe.Barrier()
+				}
+				pe.DMAPutStrided(c[(bi+i*tm)*n+bj+j*tn:], ct, tm, tn, n)
+			}
+		}
+	})
+}
+
+// microGEMM is the host-side stand-in for the CPE's register-blocked
+// SIMD inner loop: ct[tm×tn] += a[tm×tk]·b[tk×tn].
+func microGEMM(ct, a, b []float32, tm, tk, tn int) {
+	for ii := 0; ii < tm; ii++ {
+		arow := a[ii*tk : (ii+1)*tk]
+		crow := ct[ii*tn : (ii+1)*tn]
+		for kk, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b[kk*tn : (kk+1)*tn]
+			for jj, bv := range brow {
+				crow[jj] += av * bv
+			}
+		}
+	}
+}
+
+// chooseGEMMBlocks picks macro-block dimensions (multiples of 8, at
+// most the padded matrix dims) maximizing the compute-to-DMA ratio
+// under the LDM budget. Per-CPE LDM holds one tile of each operand
+// plus two receive buffers (the largest of the A/B tiles, double-
+// buffered by the bus FIFO).
+func chooseGEMMBlocks(hw *sw26010.Model, m, k, n int) (bm, bk, bn int) {
+	budget := hw.LDMBudget
+	best := -1.0
+	bm, bk, bn = mesh, mesh, mesh
+	for _, cm := range blockCandidates(m) {
+		for _, ck := range blockCandidates(k) {
+			for _, cn := range blockCandidates(n) {
+				tm, tk, tn := cm/mesh, ck/mesh, cn/mesh
+				ldm := 4 * (tm*tk + tk*tn + tm*tn + 2*maxInt(tm*tk, tk*tn))
+				if ldm > budget {
+					continue
+				}
+				flops := 2.0 * float64(cm) * float64(ck) * float64(cn)
+				bytes := 4.0 * (float64(cm)*float64(ck) + float64(ck)*float64(cn) + 2*float64(cm)*float64(cn))
+				score := flops / bytes
+				// Prefer larger tiles at equal ratio (better DMA block sizes).
+				score += 1e-6 * float64(tm*tn)
+				if score > best {
+					best, bm, bk, bn = score, cm, ck, cn
+				}
+			}
+		}
+	}
+	return bm, bk, bn
+}
+
+func blockCandidates(dim int) []int {
+	var out []int
+	for _, c := range []int{8, 16, 32, 48, 64, 96, 128, 192, 256, 384, 512} {
+		if c <= dim && dim%c == 0 {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, mesh)
+	}
+	return out
+}
+
+// planBlockCandidates is the relaxed candidate set used by the
+// analytic planner: blocks need not divide the dimension exactly (the
+// ragged edge is padded, and the plan prices the padded volume).
+func planBlockCandidates(dim int) []int {
+	out := []int{mesh}
+	for _, c := range []int{16, 32, 48, 64, 96, 128, 192, 256, 384, 512} {
+		if c < dim+mesh {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// choosePlanBlocks is the planner's counterpart of chooseGEMMBlocks:
+// block sizes may overhang the matrix (padded edges are priced), which
+// lets awkward dimensions such as n = Ho·Wo = 3136 still use large DMA
+// blocks. It prices every feasible candidate with the full cost model
+// and keeps the fastest.
+func choosePlanBlocks(hw *sw26010.Model, m, k, n int) (bm, bk, bn int) {
+	best := -1.0
+	bm, bk, bn = mesh, mesh, mesh
+	for _, cm := range planBlockCandidates(m) {
+		for _, ck := range planBlockCandidates(k) {
+			for _, cn := range planBlockCandidates(n) {
+				t, ok := priceGEMM(hw, m, k, n, cm, ck, cn)
+				if !ok {
+					continue
+				}
+				if best < 0 || t.Time < best {
+					best, bm, bk, bn = t.Time, cm, ck, cn
+				}
+			}
+		}
+	}
+	return bm, bk, bn
+}
+
+// priceGEMM evaluates the blocked SUMMA schedule for one candidate
+// tiling. ok is false when the tiles do not fit the LDM budget.
+func priceGEMM(hw *sw26010.Model, m, k, n, bm, bk, bn int) (Plan, bool) {
+	tm, tk, tn := bm/mesh, bk/mesh, bn/mesh
+	ldm := 4 * (tm*tk + tk*tn + tm*tn + 2*maxInt(tm*tk, tk*tn))
+	if ldm > hw.LDMBudget {
+		return Plan{}, false
+	}
+	nBi := (m + bm - 1) / bm
+	nBj := (n + bn - 1) / bn
+	nBt := (k + bk - 1) / bk
+	mp, kp, np := nBi*bm, nBt*bk, nBj*bn
+
+	var p Plan
+	p.Feasible = true
+	p.Block = [3]int{bm, bk, bn}
+
+	cGet := hw.DMATime(sw26010.DMAGet, int64(tm*tn*4), sw26010.CPEsPerCG, int64(tn*4))
+	cPut := hw.DMATime(sw26010.DMAPut, int64(tm*tn*4), sw26010.CPEsPerCG, int64(tn*4))
+	aGet := hw.DMATime(sw26010.DMAGet, int64(tm*tk*4), sw26010.CPEsPerCG, int64(tk*4))
+	bGet := hw.DMATime(sw26010.DMAGet, int64(tk*tn*4), sw26010.CPEsPerCG, int64(tn*4))
+	p.DMATime = float64(nBi*nBj) * (cGet + cPut + float64(nBt)*(aGet+bGet))
+
+	p.Flops = 2 * float64(mp) * float64(kp) * float64(np)
+	convFlops := convertFlopPerElem * float64(nBi*nBj*nBt) * float64(mesh) * float64(tm*tk+tk*tn) * sw26010.CPEsPerCG
+	p.ComputeTime = hw.ComputeTime(p.Flops/simdEfficiency+convFlops, sw26010.CPEsPerCG)
+
+	rlcBytesPerCPE := int64(float64((tm*tk+tk*tn)*4) * hw.SinglePrecisionRLCPenalty)
+	p.RLCTime = float64(nBi*nBj*nBt*mesh) * hw.RLCTime(rlcBytesPerCPE)
+
+	p.DMABytes = int64(nBi*nBj) * int64(bm*bn*8+nBt*(bm*bk+bk*bn)*4)
+	p.RLCBytes = rlcBytesPerCPE * int64(nBi*nBj*nBt*mesh) * sw26010.CPEsPerCG
+	p.Time = combine(p.DMATime, p.ComputeTime, p.RLCTime) + kernelLaunch
+	return p, true
+}
+
+// GEMMPlan prices C[m×n] += A[m×k]·B[k×n] on one core group without
+// executing it. It walks the same macro-block schedule as GEMMRun.
+func GEMMPlan(hw *sw26010.Model, m, k, n int) *Plan {
+	return gemmPlanNamed(hw, "gemm", m, k, n)
+}
+
+func gemmPlanNamed(hw *sw26010.Model, name string, m, k, n int) *Plan {
+	if m <= 0 || k <= 0 || n <= 0 {
+		return Infeasible(name, "non-positive dimension")
+	}
+	bm, bk, bn := choosePlanBlocks(hw, m, k, n)
+	p, ok := priceGEMM(hw, m, k, n, bm, bk, bn)
+	if !ok {
+		return Infeasible(name, "no tiling fits the LDM budget")
+	}
+	p.Name = name
+	return &p
+}
+
+// GEMMPlanNoRLC prices the same blocked GEMM with register-level
+// communication disabled: at each of the 8 SUMMA steps every CPE must
+// DMA the remote A and B tiles from main memory instead of receiving
+// them over the row/column buses, multiplying the A/B traffic by the
+// mesh dimension. This is the Principle-4 ablation.
+func GEMMPlanNoRLC(hw *sw26010.Model, m, k, n int) *Plan {
+	bm, bk, bn := choosePlanBlocks(hw, m, k, n)
+	p, ok := priceGEMM(hw, m, k, n, bm, bk, bn)
+	if !ok {
+		return Infeasible("gemm-no-rlc", "no tiling fits the LDM budget")
+	}
+	p.Name = "gemm-no-rlc"
+	tm, tk, tn := bm/mesh, bk/mesh, bn/mesh
+	nBi := (m + bm - 1) / bm
+	nBj := (n + bn - 1) / bn
+	nBt := (k + bk - 1) / bk
+	// Extra per-step fetches: (mesh-1) remote A tiles and B tiles per
+	// CPE per macro-block, straight from DRAM.
+	aGet := hw.DMATime(sw26010.DMAGet, int64(tm*tk*4), sw26010.CPEsPerCG, int64(tk*4))
+	bGet := hw.DMATime(sw26010.DMAGet, int64(tk*tn*4), sw26010.CPEsPerCG, int64(tn*4))
+	extra := float64(nBi*nBj*nBt) * float64(mesh-1) * (aGet + bGet)
+	p.DMATime += extra
+	p.RLCTime = 0
+	p.Time = combine(p.DMATime, p.ComputeTime, 0) + kernelLaunch
+	return &p
+}
+
+// RefGEMM is the plain host reference C += A·B used by the test suite
+// and by the functional layer math (the "MPE-only" baseline).
+func RefGEMM(a, b, c []float32, m, k, n int) {
+	checkGEMMArgs(a, b, c, m, k, n)
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
+		for kk, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b[kk*n : (kk+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// RefGEMMTransA computes C[m×n] += Aᵀ·B where A is [k×m].
+func RefGEMMTransA(a, b, c []float32, m, k, n int) {
+	for kk := 0; kk < k; kk++ {
+		arow := a[kk*m : (kk+1)*m]
+		brow := b[kk*n : (kk+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := c[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// RefGEMMTransB computes C[m×n] += A·Bᵀ where B is [n×k].
+func RefGEMMTransB(a, b, c []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			var s float32
+			for kk, av := range arow {
+				s += av * brow[kk]
+			}
+			crow[j] += s
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package swdnn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"swcaffe/internal/sw26010"
+)
+
+func randSlice(rng *rand.Rand, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = float32(rng.NormFloat64())
+	}
+	return s
+}
+
+func maxAbsDiff(a, b []float32) float64 {
+	var m float64
+	for i := range a {
+		d := float64(a[i] - b[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestGEMMRunMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cg := sw26010.NewCoreGroup(nil)
+	cases := []struct{ m, k, n int }{
+		{8, 8, 8}, {16, 8, 24}, {32, 32, 32}, {64, 16, 8},
+		{24, 40, 16}, {8, 64, 8}, {48, 48, 48},
+	}
+	for _, c := range cases {
+		a := randSlice(rng, c.m*c.k)
+		b := randSlice(rng, c.k*c.n)
+		csim := randSlice(rng, c.m*c.n)
+		cref := append([]float32(nil), csim...)
+
+		simTime := GEMMRun(cg, a, b, csim, c.m, c.k, c.n)
+		RefGEMM(a, b, cref, c.m, c.k, c.n)
+
+		if d := maxAbsDiff(csim, cref); d > 1e-3 {
+			t.Errorf("GEMM %dx%dx%d: max diff %g", c.m, c.k, c.n, d)
+		}
+		if simTime <= 0 {
+			t.Errorf("GEMM %dx%dx%d: non-positive simulated time %g", c.m, c.k, c.n, simTime)
+		}
+	}
+}
+
+func TestGEMMRunNonAligned(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cg := sw26010.NewCoreGroup(nil)
+	for _, c := range []struct{ m, k, n int }{{5, 7, 3}, {13, 9, 21}, {1, 1, 1}, {17, 32, 5}} {
+		a := randSlice(rng, c.m*c.k)
+		b := randSlice(rng, c.k*c.n)
+		cs := make([]float32, c.m*c.n)
+		cr := make([]float32, c.m*c.n)
+		GEMMRun(cg, a, b, cs, c.m, c.k, c.n)
+		RefGEMM(a, b, cr, c.m, c.k, c.n)
+		if d := maxAbsDiff(cs, cr); d > 1e-3 {
+			t.Errorf("GEMM %dx%dx%d: max diff %g", c.m, c.k, c.n, d)
+		}
+	}
+}
+
+func TestGEMMProperty(t *testing.T) {
+	cg := sw26010.NewCoreGroup(nil)
+	rng := rand.New(rand.NewSource(3))
+	f := func(mSeed, kSeed, nSeed uint8) bool {
+		m := int(mSeed)%24 + 1
+		k := int(kSeed)%24 + 1
+		n := int(nSeed)%24 + 1
+		a := randSlice(rng, m*k)
+		b := randSlice(rng, k*n)
+		cs := make([]float32, m*n)
+		cr := make([]float32, m*n)
+		GEMMRun(cg, a, b, cs, m, k, n)
+		RefGEMM(a, b, cr, m, k, n)
+		return maxAbsDiff(cs, cr) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

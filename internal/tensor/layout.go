@@ -1,0 +1,108 @@
+package tensor
+
+// Transform converts a tensor between the NCHW and RCNB layouts,
+// returning a freshly allocated tensor with the target layout. This is
+// the functional core of the paper's tensor-transformation layer
+// (Sec. IV-C): a 4-D dimension transposition between the explicit-GEMM
+// data arrangement (B, N, R, C) and the implicit-GEMM arrangement
+// (R, C, N, B).
+func Transform(src *Tensor, to Layout) *Tensor {
+	if src.Layout == to {
+		return src.Clone()
+	}
+	dst := &Tensor{N: src.N, C: src.C, H: src.H, W: src.W, Layout: to,
+		Data: make([]float32, src.Len())}
+	TransformInto(src, dst)
+	return dst
+}
+
+// TransformInto converts src into dst, which must have the same logical
+// shape. It works for any pair of layouts, including identical ones.
+func TransformInto(src, dst *Tensor) {
+	if !src.SameShape(dst) {
+		panic("tensor: TransformInto shape mismatch")
+	}
+	if src.Layout == dst.Layout {
+		copy(dst.Data, src.Data)
+		return
+	}
+	// Walk the logical index space once. The inner two loops iterate the
+	// dimensions that are contiguous in at least one of the layouts to
+	// keep one side of the copy streaming.
+	n, c, h, w := src.N, src.C, src.H, src.W
+	switch {
+	case src.Layout == NCHW && dst.Layout == RCNB:
+		for in := 0; in < n; in++ {
+			for ic := 0; ic < c; ic++ {
+				srcBase := (in*c + ic) * h * w
+				for ih := 0; ih < h; ih++ {
+					for iw := 0; iw < w; iw++ {
+						dst.Data[((ih*w+iw)*c+ic)*n+in] = src.Data[srcBase+ih*w+iw]
+					}
+				}
+			}
+		}
+	case src.Layout == RCNB && dst.Layout == NCHW:
+		for ih := 0; ih < h; ih++ {
+			for iw := 0; iw < w; iw++ {
+				srcBase := (ih*w + iw) * c * n
+				for ic := 0; ic < c; ic++ {
+					for in := 0; in < n; in++ {
+						dst.Data[((in*c+ic)*h+ih)*w+iw] = src.Data[srcBase+ic*n+in]
+					}
+				}
+			}
+		}
+	default:
+		// Generic path (future layouts).
+		for in := 0; in < n; in++ {
+			for ic := 0; ic < c; ic++ {
+				for ih := 0; ih < h; ih++ {
+					for iw := 0; iw < w; iw++ {
+						dst.Data[dst.Index(in, ic, ih, iw)] = src.Data[src.Index(in, ic, ih, iw)]
+					}
+				}
+			}
+		}
+	}
+}
+
+// FilterToKKNoNi converts a filter tensor from Caffe layout
+// (No, Ni, K, K) to the implicit-GEMM layout (K, K, No, Ni), as
+// described in Sec. IV-C. Filters are local to a convolution layer so
+// only these two arrangements occur. The result is returned as a plain
+// float32 slice indexed [((kh*K+kw)*No + no)*Ni + ni].
+func FilterToKKNoNi(f *Tensor) []float32 {
+	no, ni, kh, kw := f.N, f.C, f.H, f.W
+	out := make([]float32, f.Len())
+	for o := 0; o < no; o++ {
+		for i := 0; i < ni; i++ {
+			base := (o*ni + i) * kh * kw
+			for y := 0; y < kh; y++ {
+				for x := 0; x < kw; x++ {
+					out[((y*kw+x)*no+o)*ni+i] = f.Data[base+y*kw+x]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FilterFromKKNoNi is the inverse of FilterToKKNoNi, writing into an
+// (No, Ni, K, K) tensor.
+func FilterFromKKNoNi(data []float32, f *Tensor) {
+	no, ni, kh, kw := f.N, f.C, f.H, f.W
+	if len(data) != f.Len() {
+		panic("tensor: FilterFromKKNoNi length mismatch")
+	}
+	for o := 0; o < no; o++ {
+		for i := 0; i < ni; i++ {
+			base := (o*ni + i) * kh * kw
+			for y := 0; y < kh; y++ {
+				for x := 0; x < kw; x++ {
+					f.Data[base+y*kw+x] = data[((y*kw+x)*no+o)*ni+i]
+				}
+			}
+		}
+	}
+}

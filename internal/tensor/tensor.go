@@ -1,0 +1,274 @@
+// Package tensor provides the 4-D dense tensors used throughout swCaffe.
+//
+// Caffe blobs are 4-dimensional (N, C, H, W): batch, channel, height,
+// width. swCaffe additionally uses the (H, W, C, N) layout — called RCNB
+// in the paper — for convolutional layers that run the implicit-GEMM
+// plan, together with an explicit tensor-transformation layer that
+// converts between the two (paper Sec. IV-C).
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Layout identifies the in-memory ordering of a 4-D tensor.
+type Layout uint8
+
+const (
+	// NCHW is the default Caffe blob layout: batch outermost, width
+	// innermost. The paper calls this (B, N, R, C).
+	NCHW Layout = iota
+	// RCNB is the implicit-GEMM layout used by swDNN: rows, columns,
+	// channels, batch — the batch dimension is innermost so that one
+	// DMA transfer fetches the same pixel across the whole mini-batch.
+	RCNB
+)
+
+func (l Layout) String() string {
+	switch l {
+	case NCHW:
+		return "NCHW"
+	case RCNB:
+		return "RCNB"
+	default:
+		return fmt.Sprintf("Layout(%d)", uint8(l))
+	}
+}
+
+// Tensor is a dense 4-D array of float32. The logical dimensions are
+// always stored as (N, C, H, W) regardless of layout; Layout controls
+// only the linearization of Data.
+type Tensor struct {
+	N, C, H, W int
+	Layout     Layout
+	Data       []float32
+}
+
+// New allocates a zero-filled NCHW tensor of the given logical shape.
+func New(n, c, h, w int) *Tensor {
+	if n < 0 || c < 0 || h < 0 || w < 0 {
+		panic(fmt.Sprintf("tensor: negative dimension (%d,%d,%d,%d)", n, c, h, w))
+	}
+	return &Tensor{N: n, C: c, H: h, W: w, Layout: NCHW, Data: make([]float32, n*c*h*w)}
+}
+
+// NewWithLayout allocates a zero-filled tensor with an explicit layout.
+func NewWithLayout(n, c, h, w int, l Layout) *Tensor {
+	t := New(n, c, h, w)
+	t.Layout = l
+	return t
+}
+
+// NewVec allocates a 1-D tensor of length n, stored as shape (1,n,1,1).
+// It is used for biases and batch-norm statistics.
+func NewVec(n int) *Tensor { return New(1, n, 1, 1) }
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int { return t.N * t.C * t.H * t.W }
+
+// Bytes returns the storage footprint in bytes (float32 elements).
+func (t *Tensor) Bytes() int64 { return int64(t.Len()) * 4 }
+
+// Shape returns the logical shape as a 4-element array (N, C, H, W).
+func (t *Tensor) Shape() [4]int { return [4]int{t.N, t.C, t.H, t.W} }
+
+// SameShape reports whether two tensors have identical logical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	return t.N == o.N && t.C == o.C && t.H == o.H && t.W == o.W
+}
+
+// Index returns the linear offset of logical element (n, c, h, w)
+// under the tensor's layout.
+func (t *Tensor) Index(n, c, h, w int) int {
+	switch t.Layout {
+	case NCHW:
+		return ((n*t.C+c)*t.H+h)*t.W + w
+	case RCNB:
+		return ((h*t.W+w)*t.C+c)*t.N + n
+	default:
+		panic("tensor: unknown layout")
+	}
+}
+
+// At returns the logical element (n, c, h, w).
+func (t *Tensor) At(n, c, h, w int) float32 { return t.Data[t.Index(n, c, h, w)] }
+
+// Set stores v at logical element (n, c, h, w).
+func (t *Tensor) Set(n, c, h, w int, v float32) { t.Data[t.Index(n, c, h, w)] = v }
+
+// Reshape reinterprets the tensor with a new logical shape of the same
+// total length. Only valid for NCHW tensors, where the linearization is
+// shape-agnostic.
+func (t *Tensor) Reshape(n, c, h, w int) *Tensor {
+	if n*c*h*w != t.Len() {
+		panic(fmt.Sprintf("tensor: reshape (%d,%d,%d,%d) incompatible with len %d", n, c, h, w, t.Len()))
+	}
+	if t.Layout != NCHW {
+		panic("tensor: reshape requires NCHW layout")
+	}
+	return &Tensor{N: n, C: c, H: h, W: w, Layout: NCHW, Data: t.Data}
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := &Tensor{N: t.N, C: t.C, H: t.H, W: t.W, Layout: t.Layout, Data: make([]float32, len(t.Data))}
+	copy(c.Data, t.Data)
+	return c
+}
+
+// CopyFrom copies o's data into t. Shapes and layouts must match.
+func (t *Tensor) CopyFrom(o *Tensor) {
+	if !t.SameShape(o) || t.Layout != o.Layout {
+		panic("tensor: CopyFrom shape/layout mismatch")
+	}
+	copy(t.Data, o.Data)
+}
+
+// Zero fills the tensor with zeros.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// FillGaussian fills with N(mean, std) samples from rng.
+func (t *Tensor) FillGaussian(rng *rand.Rand, mean, std float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64()*std + mean)
+	}
+}
+
+// FillUniform fills with U[lo, hi) samples from rng.
+func (t *Tensor) FillUniform(rng *rand.Rand, lo, hi float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(lo + rng.Float64()*(hi-lo))
+	}
+}
+
+// FillXavier applies the Caffe "xavier" filler: U[-a, a] with
+// a = sqrt(3 / fanIn).
+func (t *Tensor) FillXavier(rng *rand.Rand, fanIn int) {
+	if fanIn <= 0 {
+		panic("tensor: FillXavier fanIn must be positive")
+	}
+	a := math.Sqrt(3.0 / float64(fanIn))
+	t.FillUniform(rng, -a, a)
+}
+
+// FillMSRA applies the Caffe "msra" filler: N(0, sqrt(2 / fanIn)).
+func (t *Tensor) FillMSRA(rng *rand.Rand, fanIn int) {
+	if fanIn <= 0 {
+		panic("tensor: FillMSRA fanIn must be positive")
+	}
+	t.FillGaussian(rng, 0, math.Sqrt(2.0/float64(fanIn)))
+}
+
+// Scale multiplies every element by s.
+func (t *Tensor) Scale(s float32) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// AXPY computes t += alpha*o elementwise. Shapes must match; layouts
+// must match so that linear indices correspond.
+func (t *Tensor) AXPY(alpha float32, o *Tensor) {
+	if len(t.Data) != len(o.Data) || t.Layout != o.Layout {
+		panic("tensor: AXPY shape/layout mismatch")
+	}
+	for i, v := range o.Data {
+		t.Data[i] += alpha * v
+	}
+}
+
+// Dot returns the flat inner product of two same-shaped tensors,
+// accumulated in float64 for stability.
+func (t *Tensor) Dot(o *Tensor) float64 {
+	if len(t.Data) != len(o.Data) {
+		panic("tensor: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range t.Data {
+		s += float64(v) * float64(o.Data[i])
+	}
+	return s
+}
+
+// SumSquares returns sum(x^2) in float64.
+func (t *Tensor) SumSquares() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v) * float64(v)
+	}
+	return s
+}
+
+// Sum returns the float64 sum of all elements.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v)
+	}
+	return s
+}
+
+// MaxAbs returns max |x|.
+func (t *Tensor) MaxAbs() float32 {
+	var m float32
+	for _, v := range t.Data {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor(%d,%d,%d,%d)[%s]", t.N, t.C, t.H, t.W, t.Layout)
+}
+
+// AllClose reports whether every pair of corresponding elements differs
+// by at most atol + rtol*|b|.
+func AllClose(a, b *Tensor, rtol, atol float64) bool {
+	if len(a.Data) != len(b.Data) {
+		return false
+	}
+	for i := range a.Data {
+		x, y := float64(a.Data[i]), float64(b.Data[i])
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return false
+		}
+		if math.Abs(x-y) > atol+rtol*math.Abs(y) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxDiff returns the maximum absolute elementwise difference.
+func MaxDiff(a, b *Tensor) float64 {
+	if len(a.Data) != len(b.Data) {
+		return math.Inf(1)
+	}
+	var m float64
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i]) - float64(b.Data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

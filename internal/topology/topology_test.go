@@ -1,0 +1,138 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMappingsCoverAllSupernodes(t *testing.T) {
+	for _, p := range []int{8, 64, 256, 1024} {
+		for _, q := range []int{4, 64, 256} {
+			adj := AdjacentMapping{Q: q}
+			rr := RoundRobinMapping{Q: q}
+			if err := Validate(adj, p, q); err != nil {
+				t.Errorf("adjacent p=%d q=%d: %v", p, q, err)
+			}
+			if err := Validate(rr, p, q); err != nil {
+				t.Errorf("round-robin p=%d q=%d: %v", p, q, err)
+			}
+		}
+	}
+}
+
+func TestAdjacentMappingLayout(t *testing.T) {
+	m := AdjacentMapping{Q: 256}
+	if m.Supernode(0, 1024) != 0 || m.Supernode(255, 1024) != 0 {
+		t.Fatal("first 256 ranks must share supernode 0")
+	}
+	if m.Supernode(256, 1024) != 1 || m.Supernode(1023, 1024) != 3 {
+		t.Fatal("adjacent layout wrong")
+	}
+}
+
+func TestRoundRobinMappingLayout(t *testing.T) {
+	// Paper example: 4 supernodes; nodes 0,4,8,... in supernode 0,
+	// nodes 1,5,9,... in supernode 1.
+	m := RoundRobinMapping{Q: 256}
+	p := 1024
+	for r := 0; r < 64; r++ {
+		if m.Supernode(r, p) != r%4 {
+			t.Fatalf("rank %d -> supernode %d, want %d", r, m.Supernode(r, p), r%4)
+		}
+	}
+}
+
+func TestRoundRobinKeepsSmallDistancesLocal(t *testing.T) {
+	// The property the paper's all-reduce exploits: under round-robin
+	// numbering, ranks at distance multiples of S (supernode count)
+	// share a supernode, so the big early halving exchanges at
+	// distance p/2, p/4, ..., S stay local.
+	q := 256
+	p := 1024
+	s := p / q // 4 supernodes
+	m := RoundRobinMapping{Q: q}
+	for d := p / 2; d >= s; d /= 2 {
+		for _, r := range []int{0, 5, 100, 999 - d} {
+			if !SameSupernode(m, r, r+d, p) {
+				t.Fatalf("distance %d exchange (%d,%d) should be intra-supernode", d, r, r+d)
+			}
+		}
+	}
+	// While under adjacent numbering the same distances all cross.
+	adj := AdjacentMapping{Q: q}
+	for d := p / 2; d >= q; d /= 2 {
+		if SameSupernode(adj, 0, d, p) {
+			t.Fatalf("adjacent: distance %d from 0 should cross supernodes", d)
+		}
+	}
+}
+
+func TestMappingProperty(t *testing.T) {
+	f := func(r16 uint16, pSel, qSel uint8) bool {
+		ps := []int{8, 32, 256, 1024}[pSel%4]
+		qs := []int{4, 16, 256}[qSel%3]
+		r := int(r16) % ps
+		adj := AdjacentMapping{Q: qs}.Supernode(r, ps)
+		rr := RoundRobinMapping{Q: qs}.Supernode(r, ps)
+		s := (ps + qs - 1) / qs
+		return adj >= 0 && rr >= 0 && rr < s && adj <= (ps-1)/qs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNetworkCurves(t *testing.T) {
+	sw := Sunway()
+	ib := InfinibandFDR()
+
+	// Fig. 6: similar high bandwidth at large messages, SW higher
+	// latency beyond the 2KB rendezvous threshold.
+	bigSW := sw.Bandwidth(4<<20, true)
+	bigIB := ib.Bandwidth(4<<20, true)
+	if bigSW < bigIB {
+		t.Fatalf("SW large-message bandwidth (%g) should exceed FDR (%g)", bigSW, bigIB)
+	}
+	if sw.P2PTime(8<<10, true) <= ib.P2PTime(8<<10, true) {
+		t.Fatal("SW latency should exceed Infiniband past the 2KB threshold")
+	}
+	if sw.Alpha(1024) >= sw.Alpha(64<<10) {
+		t.Fatal("rendezvous latency must exceed eager latency")
+	}
+
+	// Over-subscribed cross-supernode bandwidth is about a quarter of
+	// the intra-supernode bandwidth (paper Sec. II-B).
+	ratio := sw.Bandwidth(4<<20, true) / sw.Bandwidth(4<<20, false)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("over-subscription ratio %g, want ~4", ratio)
+	}
+
+	// Bandwidth monotone in message size within each protocol regime
+	// (a dip exactly at the eager->rendezvous switch is the measured
+	// behaviour Fig. 6 shows).
+	prev := 0.0
+	for sz := int64(64); sz <= sw.RendezvousSize; sz *= 4 {
+		bw := sw.Bandwidth(sz, true)
+		if bw < prev {
+			t.Fatalf("eager-regime bandwidth decreasing at %d", sz)
+		}
+		prev = bw
+	}
+	prev = 0.0
+	for sz := sw.RendezvousSize * 2; sz <= 4<<20; sz *= 4 {
+		bw := sw.Bandwidth(sz, true)
+		if bw < prev {
+			t.Fatalf("rendezvous-regime bandwidth decreasing at %d", sz)
+		}
+		prev = bw
+	}
+	// Peak lands near the measured 11-12 GB/s MPI figure.
+	if bigSW < 9e9 || bigSW > 12e9 {
+		t.Fatalf("SW peak P2P %g, want ~11 GB/s", bigSW)
+	}
+
+	// CPE-cluster reduction is faster than MPE reduction (Sec. V-A).
+	if sw.GammaCPE >= sw.GammaMPE {
+		t.Fatal("CPE reduction must beat MPE reduction")
+	}
+}

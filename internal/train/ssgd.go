@@ -1,0 +1,232 @@
+package train
+
+import (
+	"fmt"
+	"sync"
+
+	"swcaffe/internal/allreduce"
+	"swcaffe/internal/core"
+	"swcaffe/internal/dataset"
+	"swcaffe/internal/simnet"
+	"swcaffe/internal/tensor"
+	"swcaffe/internal/topology"
+)
+
+// Worker is one simulated node of the data-parallel trainer: a full
+// model replica with its own solver state. All workers start from
+// identical parameters (the model builders seed deterministically) and
+// stay identical because every update uses the same averaged gradient.
+type Worker struct {
+	Rank   int
+	Net    *core.Net
+	Solver *core.Solver
+	Data   *tensor.Tensor
+	Labels *tensor.Tensor
+}
+
+// DistConfig configures the functional SSGD trainer.
+type DistConfig struct {
+	Nodes     int
+	SubBatch  int // per-node mini-batch
+	Solver    core.SolverConfig
+	Network   *topology.Network
+	Mapping   topology.Mapping
+	Algorithm allreduce.Algorithm
+}
+
+// DistTrainer drives Algorithm 1 across simulated nodes: every
+// iteration each worker computes gradients on its own shard, the
+// packed gradients are all-reduced over the simulated interconnect,
+// averaged, and applied identically everywhere.
+type DistTrainer struct {
+	cfg     DistConfig
+	Workers []*Worker
+	cluster *simnet.Cluster
+
+	// CommTime accumulates simulated all-reduce time.
+	CommTime float64
+	iter     int
+}
+
+// NewDistTrainer builds nodes workers from a model factory. The
+// factory must be deterministic so replicas start identical.
+func NewDistTrainer(cfg DistConfig, buildNet func() (*core.Net, map[string]*tensor.Tensor, error)) (*DistTrainer, error) {
+	if cfg.Nodes <= 0 || cfg.SubBatch <= 0 {
+		return nil, fmt.Errorf("train: bad dist config %+v", cfg)
+	}
+	if cfg.Network == nil {
+		cfg.Network = topology.Sunway()
+	}
+	if cfg.Mapping == nil {
+		cfg.Mapping = topology.RoundRobinMapping{Q: cfg.Network.SupernodeSize}
+	}
+	if cfg.Algorithm == nil {
+		cfg.Algorithm = allreduce.RecursiveHalvingDoubling
+	}
+	t := &DistTrainer{cfg: cfg, cluster: simnet.NewCluster(cfg.Network, cfg.Mapping, cfg.Nodes)}
+	t.cluster.ReduceOnCPE = true
+	for r := 0; r < cfg.Nodes; r++ {
+		net, inputs, err := buildNet()
+		if err != nil {
+			return nil, err
+		}
+		w := &Worker{
+			Rank: r, Net: net,
+			Solver: core.NewSolver(net, cfg.Solver),
+			Data:   inputs["data"],
+			Labels: inputs["label"],
+		}
+		t.Workers = append(t.Workers, w)
+	}
+	return t, nil
+}
+
+// Iter returns the number of completed iterations.
+func (t *DistTrainer) Iter() int { return t.iter }
+
+// Step runs one synchronous iteration over the shards loaded into each
+// worker's Data/Labels tensors and returns the mean loss across
+// workers.
+func (t *DistTrainer) Step() float32 {
+	var wg sync.WaitGroup
+	losses := make([]float32, len(t.Workers))
+	// Local forward/backward (the 4-CG compute of Algorithm 1 lines
+	// 3-8 collapses to one functional pass per node here).
+	wg.Add(len(t.Workers))
+	for i, w := range t.Workers {
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			w.Net.ZeroParamDiffs()
+			losses[i] = w.Net.Forward(core.Train)
+			w.Net.Backward(core.Train)
+		}(i, w)
+	}
+	wg.Wait()
+
+	// Pack, all-reduce, average (Algorithm 1 line 9).
+	packed := make([][]float32, len(t.Workers))
+	for i, w := range t.Workers {
+		packed[i] = w.Net.PackGradients(nil)
+	}
+	var mu sync.Mutex
+	reduced := make([][]float32, len(t.Workers))
+	res := t.cluster.Run(func(n *simnet.Node) {
+		out := t.cfg.Algorithm(n, packed[n.Rank])
+		n.ChargeReduce(len(out)) // final averaging sweep on the CPEs
+		mu.Lock()
+		reduced[n.Rank] = out
+		mu.Unlock()
+	})
+	t.CommTime += res.Time
+
+	// Average and update every replica identically (line 10).
+	for i, w := range t.Workers {
+		allreduce.Scale(reduced[i], len(t.Workers))
+		w.Net.UnpackGradients(reduced[i])
+		w.Solver.ApplyUpdate()
+	}
+	t.iter++
+
+	var mean float32
+	for _, l := range losses {
+		mean += l
+	}
+	return mean / float32(len(losses))
+}
+
+// LoadShards fills every worker's input tensors with consecutive
+// shards of the dataset starting at a deterministic per-iteration
+// offset, so a serial trainer can consume the identical union batch.
+func (t *DistTrainer) LoadShards(ds dataset.Dataset, iteration int) {
+	for _, w := range t.Workers {
+		start := (iteration*t.cfg.Nodes + w.Rank) * t.cfg.SubBatch
+		dataset.Batch(ds, start, w.Data, w.Labels)
+	}
+}
+
+// ParamsDiverged reports the maximum parameter difference between
+// worker replicas — a consistency invariant (must stay ~0) checked by
+// the failure-injection tests.
+func (t *DistTrainer) ParamsDiverged() float64 {
+	if len(t.Workers) < 2 {
+		return 0
+	}
+	base := t.Workers[0].Net.LearnableParams()
+	var worst float64
+	for _, w := range t.Workers[1:] {
+		other := w.Net.LearnableParams()
+		for i, p := range base {
+			if d := tensor.MaxDiff(p.Data, other[i].Data); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// CGTrainer is the single-node, 4-core-group trainer of Algorithm 1
+// and Fig. 5: four CG "threads" each forward/backward a quarter of the
+// mini-batch; CG0 averages the four gradients; one SGD update applies.
+// The functional stand-in runs one replica per CG over a quarter shard
+// and sums gradients, which equals full-batch SGD when layers are
+// batch-linear (everything except batch-norm statistics — the same
+// approximation the real swCaffe makes).
+type CGTrainer struct {
+	CGs    []*Worker
+	solver *core.Solver
+}
+
+// NewCGTrainer builds the 4-CG trainer from a deterministic factory
+// producing replicas with quarter-batch inputs.
+func NewCGTrainer(build func() (*core.Net, map[string]*tensor.Tensor, error), solverCfg core.SolverConfig) (*CGTrainer, error) {
+	t := &CGTrainer{}
+	for i := 0; i < 4; i++ {
+		net, inputs, err := build()
+		if err != nil {
+			return nil, err
+		}
+		t.CGs = append(t.CGs, &Worker{Rank: i, Net: net, Data: inputs["data"], Labels: inputs["label"]})
+	}
+	t.solver = core.NewSolver(t.CGs[0].Net, solverCfg)
+	return t, nil
+}
+
+// Step runs one iteration: parallel quarter-batch passes, gradient
+// averaging onto CG0, update on CG0, parameter broadcast back.
+func (t *CGTrainer) Step() float32 {
+	var wg sync.WaitGroup
+	losses := make([]float32, 4)
+	wg.Add(4)
+	for i, w := range t.CGs {
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			w.Net.ZeroParamDiffs()
+			losses[i] = w.Net.Forward(core.Train)
+			w.Net.Backward(core.Train)
+		}(i, w)
+	}
+	wg.Wait()
+
+	// CG0 averages the gradients (simple_sync handshake of Fig. 5).
+	base := t.CGs[0].Net.LearnableParams()
+	for cg := 1; cg < 4; cg++ {
+		other := t.CGs[cg].Net.LearnableParams()
+		for i, p := range base {
+			p.Diff.AXPY(1, other[i].Diff)
+		}
+	}
+	for _, p := range base {
+		p.Diff.Scale(0.25)
+	}
+	t.solver.ApplyUpdate()
+
+	// Broadcast updated parameters to the other CGs (shared memory on
+	// the real chip).
+	for cg := 1; cg < 4; cg++ {
+		other := t.CGs[cg].Net.LearnableParams()
+		for i, p := range base {
+			other[i].Data.CopyFrom(p.Data)
+		}
+	}
+	return (losses[0] + losses[1] + losses[2] + losses[3]) / 4
+}

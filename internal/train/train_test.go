@@ -1,0 +1,297 @@
+package train
+
+import (
+	"math/rand"
+	"testing"
+
+	"swcaffe/internal/core"
+	"swcaffe/internal/dataset"
+	"swcaffe/internal/tensor"
+)
+
+func mlpFactory(batch, classes int) func() (*core.Net, map[string]*tensor.Tensor, error) {
+	return func() (*core.Net, map[string]*tensor.Tensor, error) {
+		net := core.NewNet("mlp", "data", "label")
+		net.AddLayers(
+			core.NewInnerProduct(core.InnerProductConfig{
+				Name: "fc1", Bottom: "data", Top: "fc1", NumOutput: 16, BiasTerm: true}),
+			core.NewReLU("relu", "fc1", "fc1", 0),
+			core.NewInnerProduct(core.InnerProductConfig{
+				Name: "fc2", Bottom: "fc1", Top: "fc2", NumOutput: classes, BiasTerm: true}),
+			core.NewSoftmaxLoss("loss", "fc2", "label", "loss"),
+		)
+		inputs := map[string]*tensor.Tensor{
+			"data":  tensor.New(batch, 1, 3, 3),
+			"label": tensor.New(batch, 1, 1, 1),
+		}
+		if err := net.Setup(inputs); err != nil {
+			return nil, nil, err
+		}
+		return net, inputs, nil
+	}
+}
+
+func TestDistributedEqualsSerial(t *testing.T) {
+	const (
+		nodes    = 4
+		subBatch = 6
+		classes  = 3
+		iters    = 20
+	)
+	ds := dataset.NewClusters(2000, classes, 1, 3, 3, 0.4, 11)
+	cfg := core.SolverConfig{BaseLR: 0.05, Momentum: 0.9}
+
+	dist, err := NewDistTrainer(DistConfig{Nodes: nodes, SubBatch: subBatch, Solver: cfg},
+		mlpFactory(subBatch, classes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialNet, serialIn, err := mlpFactory(nodes*subBatch, classes)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := core.NewSolver(serialNet, cfg)
+
+	for it := 0; it < iters; it++ {
+		dist.LoadShards(ds, it)
+		dist.Step()
+		dataset.Batch(ds, it*nodes*subBatch, serialIn["data"], serialIn["label"])
+		serial.Step()
+	}
+
+	// Gradient averaging over equal shards == full-batch gradient, so
+	// parameters must agree to float rounding accumulated over iters.
+	dp := dist.Workers[0].Net.LearnableParams()
+	sp := serialNet.LearnableParams()
+	for i := range dp {
+		if d := tensor.MaxDiff(dp[i].Data, sp[i].Data); d > 1e-4 {
+			t.Fatalf("param %d deviates by %g from the serial run", i, d)
+		}
+	}
+	if d := dist.ParamsDiverged(); d != 0 {
+		t.Fatalf("replicas diverged by %g", d)
+	}
+	if dist.CommTime <= 0 {
+		t.Fatal("no simulated communication time accumulated")
+	}
+	if dist.Iter() != iters {
+		t.Fatalf("iter = %d", dist.Iter())
+	}
+}
+
+func TestDistributedConverges(t *testing.T) {
+	const nodes, subBatch, classes = 4, 8, 3
+	ds := dataset.NewClusters(2000, classes, 1, 3, 3, 0.3, 12)
+	dist, err := NewDistTrainer(DistConfig{
+		Nodes: nodes, SubBatch: subBatch,
+		Solver: core.SolverConfig{BaseLR: 0.1, Momentum: 0.9},
+	}, mlpFactory(subBatch, classes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist.LoadShards(ds, 0)
+	first := dist.Step()
+	var last float32
+	for it := 1; it < 60; it++ {
+		dist.LoadShards(ds, it)
+		last = dist.Step()
+	}
+	if !(last < first/2) {
+		t.Fatalf("distributed training did not converge: %g -> %g", first, last)
+	}
+}
+
+func TestDistributedNonPowerOfTwoNodes(t *testing.T) {
+	ds := dataset.NewClusters(500, 2, 1, 3, 3, 0.3, 13)
+	for _, nodes := range []int{3, 5, 7} {
+		dist, err := NewDistTrainer(DistConfig{
+			Nodes: nodes, SubBatch: 4,
+			Solver: core.SolverConfig{BaseLR: 0.05},
+		}, mlpFactory(4, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for it := 0; it < 5; it++ {
+			dist.LoadShards(ds, it)
+			dist.Step()
+		}
+		if d := dist.ParamsDiverged(); d != 0 {
+			t.Fatalf("nodes=%d: replicas diverged by %g", nodes, d)
+		}
+	}
+}
+
+func TestCGTrainerMatchesFullBatch(t *testing.T) {
+	// Algorithm 1's 4-CG averaging over quarter shards must equal
+	// full-batch SGD for batch-linear nets (no batch norm).
+	const quarter, classes = 4, 3
+	ds := dataset.NewClusters(1000, classes, 1, 3, 3, 0.4, 14)
+	cfg := core.SolverConfig{BaseLR: 0.05, Momentum: 0.9}
+
+	cg, err := NewCGTrainer(mlpFactory(quarter, classes), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullNet, fullIn, err := mlpFactory(4*quarter, classes)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := core.NewSolver(fullNet, cfg)
+
+	for it := 0; it < 15; it++ {
+		for i, w := range cg.CGs {
+			dataset.Batch(ds, (it*4+i)*quarter, w.Data, w.Labels)
+		}
+		cg.Step()
+		dataset.Batch(ds, it*4*quarter, fullIn["data"], fullIn["label"])
+		full.Step()
+	}
+	a := cg.CGs[0].Net.LearnableParams()
+	b := fullNet.LearnableParams()
+	for i := range a {
+		if d := tensor.MaxDiff(a[i].Data, b[i].Data); d > 1e-4 {
+			t.Fatalf("param %d: CG trainer deviates by %g from full batch", i, d)
+		}
+	}
+}
+
+func TestIterationBreakdown(t *testing.T) {
+	bd, err := Iteration(ScalingConfig{Model: "alexnet-bn", SubBatch: 256, Nodes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Compute <= 0 || bd.IntraSum <= 0 || bd.Allreduce <= 0 {
+		t.Fatalf("breakdown has non-positive parts: %+v", bd)
+	}
+	if bd.Total() < bd.Compute {
+		t.Fatal("total below compute")
+	}
+	if f := bd.CommFraction(); f <= 0 || f >= 1 {
+		t.Fatalf("comm fraction %g out of (0,1)", f)
+	}
+	// Single node: no all-reduce.
+	b1, _ := Iteration(ScalingConfig{Model: "alexnet-bn", SubBatch: 256, Nodes: 1})
+	if b1.Allreduce != 0 {
+		t.Fatal("single node should not pay for all-reduce")
+	}
+}
+
+func TestIterationErrors(t *testing.T) {
+	if _, err := Iteration(ScalingConfig{Model: "nope", SubBatch: 64, Nodes: 2}); err == nil {
+		t.Fatal("unknown model must error")
+	}
+	if _, err := Iteration(ScalingConfig{Model: "vgg16", SubBatch: 63, Nodes: 2}); err == nil {
+		t.Fatal("sub-batch not divisible by 4 CGs must error")
+	}
+	if _, err := Iteration(ScalingConfig{Model: "vgg16", SubBatch: 64, Nodes: 0}); err == nil {
+		t.Fatal("zero nodes must error")
+	}
+}
+
+func TestSpeedupBounds(t *testing.T) {
+	for _, model := range []string{"alexnet-bn", "resnet50"} {
+		for _, p := range []int{2, 32, 1024} {
+			s, err := Speedup(ScalingConfig{Model: model, SubBatch: 64, Nodes: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s <= 1 || s > float64(p) {
+				t.Fatalf("%s p=%d: speedup %g out of (1, %d]", model, p, s, p)
+			}
+		}
+	}
+}
+
+func TestCommFractionGrowsWithScale(t *testing.T) {
+	pts, err := Sweep(ScalingConfig{Model: "alexnet-bn", SubBatch: 128}, []int{2, 16, 128, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].CommFraction <= pts[i-1].CommFraction {
+			t.Fatalf("comm fraction should grow with p: %+v", pts)
+		}
+	}
+}
+
+func TestPaperScalingAnchors(t *testing.T) {
+	// Fig. 10/11 anchors at 1024 nodes. Bands are generous: the shape,
+	// not the digit, is the claim.
+	cases := []struct {
+		model     string
+		subBatch  int
+		speedupLo float64
+		speedupHi float64
+		commLo    float64
+		commHi    float64
+	}{
+		{"alexnet-bn", 256, 600, 820, 0.22, 0.40}, // paper: 715x, 30.1%
+		{"alexnet-bn", 128, 480, 700, 0.33, 0.52}, // paper: 561x, 45.2%
+		{"alexnet-bn", 64, 380, 600, 0.42, 0.65},  // paper: 409x, 60.0%
+		{"resnet50", 32, 850, 1010, 0.05, 0.16},   // paper: 928x, 10.7%
+	}
+	for _, c := range cases {
+		cfg := ScalingConfig{Model: c.model, SubBatch: c.subBatch, Nodes: 1024}
+		s, err := Speedup(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bd, _ := Iteration(cfg)
+		if s < c.speedupLo || s > c.speedupHi {
+			t.Errorf("%s B=%d: speedup %g outside [%g, %g]", c.model, c.subBatch, s, c.speedupLo, c.speedupHi)
+		}
+		if f := bd.CommFraction(); f < c.commLo || f > c.commHi {
+			t.Errorf("%s B=%d: comm fraction %g outside [%g, %g]", c.model, c.subBatch, f, c.commLo, c.commHi)
+		}
+	}
+}
+
+func TestResNetScalesBetterThanAlexNet(t *testing.T) {
+	// Sec. VI-C: higher computation-to-communication ratio gives
+	// ResNet-50 better scalability.
+	alex, _ := Speedup(ScalingConfig{Model: "alexnet-bn", SubBatch: 64, Nodes: 1024})
+	res, _ := Speedup(ScalingConfig{Model: "resnet50", SubBatch: 64, Nodes: 1024})
+	if res <= alex {
+		t.Fatalf("ResNet-50 (%gx) should out-scale AlexNet (%gx)", res, alex)
+	}
+}
+
+func TestTopologyAwareMappingHelps(t *testing.T) {
+	base := ScalingConfig{Model: "alexnet-bn", SubBatch: 256, Nodes: 1024}
+	adj := base
+	adj.Adjacent = true
+	bRR, err := Iteration(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bAdj, err := Iteration(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bRR.Allreduce >= bAdj.Allreduce {
+		t.Fatalf("round-robin all-reduce (%g) should beat adjacent (%g)", bRR.Allreduce, bAdj.Allreduce)
+	}
+}
+
+func TestRandomShardsKeepReplicasConsistent(t *testing.T) {
+	// Failure-injection flavoured check: even with different random
+	// data per worker each iteration, replicas stay bit-identical
+	// because updates use the same reduced gradient.
+	ds := dataset.NewClusters(500, 2, 1, 3, 3, 0.5, 15)
+	dist, err := NewDistTrainer(DistConfig{
+		Nodes: 4, SubBatch: 4, Solver: core.SolverConfig{BaseLR: 0.05},
+	}, mlpFactory(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(16))
+	for it := 0; it < 10; it++ {
+		for _, w := range dist.Workers {
+			dataset.RandomBatch(ds, rng, w.Data, w.Labels)
+		}
+		dist.Step()
+		if d := dist.ParamsDiverged(); d != 0 {
+			t.Fatalf("iter %d: replicas diverged by %g", it, d)
+		}
+	}
+}
