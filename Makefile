@@ -1,0 +1,32 @@
+# Tier-1 verification and developer workflow. `make check` is the one
+# command CI and PR authors run.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench clean
+
+check: fmt vet build test
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/sw26010/ ./internal/swdnn/ ./internal/train/
+
+bench:
+	scripts/bench.sh
+
+clean:
+	$(GO) clean -testcache

@@ -147,10 +147,67 @@ func benchSimGEMM(b *testing.B, n int) {
 	}
 }
 
+// BenchmarkSimGEMMRagged exercises the pad/unpad staging path (dims
+// not multiples of 8), which the staging pool makes allocation-free
+// at steady state.
+func BenchmarkSimGEMMRagged(b *testing.B) {
+	cg := sw26010.NewCoreGroup(nil)
+	const m, k, n = 60, 52, 44
+	a := make([]float32, m*k)
+	bb := make([]float32, k*n)
+	c := make([]float32, m*n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		swdnn.GEMMRun(cg, a, bb, c, m, k, n)
+	}
+}
+
+// BenchmarkSimConvExplicit measures the host cost of the full
+// explicit-convolution pipeline (im2col + GEMM + bias) on the
+// simulator, including the pooled column buffer.
+func BenchmarkSimConvExplicit(b *testing.B) {
+	cg := sw26010.NewCoreGroup(nil)
+	s := swdnn.ConvShape{B: 1, Ni: 8, Ri: 16, Ci: 16, No: 8, K: 3, S: 1, P: 1}
+	ro, co := s.OutDims()
+	src := make([]float32, s.Ni*s.Ri*s.Ci)
+	w := make([]float32, s.No*s.Ni*s.K*s.K)
+	bias := make([]float32, s.No)
+	dst := make([]float32, s.No*ro*co)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		swdnn.ConvExplicitRun(cg, src, w, bias, s, dst)
+	}
+}
+
 func BenchmarkConvPlanSelection(b *testing.B) {
 	hw := sw26010.Default()
 	s := swdnn.ConvShape{B: 128, Ni: 256, Ri: 56, Ci: 56, No: 256, K: 3, S: 1, P: 1}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		swdnn.ConvPlans(hw, s, swdnn.Forward)
+	}
+}
+
+// BenchmarkGEMMPlanWarm measures the steady-state (memoized) planner
+// query; BenchmarkGEMMPlanCold forces the full O(candidates^3) tiling
+// search every iteration by clearing the cache.
+func BenchmarkGEMMPlanWarm(b *testing.B) {
+	hw := sw26010.Default()
+	swdnn.GEMMPlan(hw, 512, 512, 3136)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		swdnn.GEMMPlan(hw, 512, 512, 3136)
+	}
+}
+
+func BenchmarkGEMMPlanCold(b *testing.B) {
+	hw := sw26010.Default()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		swdnn.ResetPlanCache()
+		swdnn.GEMMPlan(hw, 512, 512, 3136)
 	}
 }

@@ -1,0 +1,3 @@
+module swcaffe
+
+go 1.24

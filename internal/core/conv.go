@@ -37,7 +37,8 @@ type ConvLayer struct {
 	weight *Param
 	bias   *Param
 
-	colBuf []float32 // per-image per-group column buffer
+	colBuf  []float32 // per-image per-group column buffer
+	dcolBuf []float32 // column-gradient scratch for Backward
 }
 
 // NewConv builds a convolution layer; parameters are initialized when
@@ -134,9 +135,7 @@ func (l *ConvLayer) Forward(bottoms, tops []*tensor.Tensor, phase Phase) {
 			src := in.Data[n*imgIn+gi*grpIn : n*imgIn+(gi+1)*grpIn]
 			dst := out.Data[n*imgOut+gi*grpOut : n*imgOut+(gi+1)*grpOut]
 			swdnn.Im2colRef(src, gs, col)
-			for i := range dst {
-				dst[i] = 0
-			}
+			clear(dst)
 			swdnn.RefGEMM(l.weight.Data.Data[gi*wPerGroup:(gi+1)*wPerGroup], col, dst, gs.No, kdim, spatial)
 		}
 		if l.bias != nil {
@@ -166,7 +165,12 @@ func (l *ConvLayer) Backward(bottoms, tops, topDiffs []*tensor.Tensor, bottomDif
 	grpOut := gs.No * spatial
 	wPerGroup := gs.No * kdim
 	col := l.colBuf[:kdim*spatial]
-	dcol := make([]float32, kdim*spatial)
+	// Backward-only scratch, allocated lazily so inference-only nets
+	// never pay for it; reused across iterations once grown.
+	if cap(l.dcolBuf) < kdim*spatial {
+		l.dcolBuf = make([]float32, kdim*spatial)
+	}
+	dcol := l.dcolBuf[:kdim*spatial]
 
 	for n := 0; n < s.B; n++ {
 		for gi := 0; gi < g; gi++ {
@@ -177,9 +181,7 @@ func (l *ConvLayer) Backward(bottoms, tops, topDiffs []*tensor.Tensor, bottomDif
 			swdnn.RefGEMMTransB(dy, col, l.weight.Diff.Data[gi*wPerGroup:(gi+1)*wPerGroup], gs.No, spatial, kdim)
 			// Input gradient: dCol = W_gᵀ · dY_g, then col2im.
 			if bottomDiffs[0] != nil {
-				for i := range dcol {
-					dcol[i] = 0
-				}
+				clear(dcol)
 				swdnn.RefGEMMTransA(l.weight.Data.Data[gi*wPerGroup:(gi+1)*wPerGroup], dy, dcol, kdim, gs.No, spatial)
 				swdnn.Col2imRef(dcol, gs, bottomDiffs[0].Data[n*imgIn+gi*grpIn:n*imgIn+(gi+1)*grpIn])
 			}

@@ -58,6 +58,7 @@ type SumRow struct {
 func SumAblation(w io.Writer) []SumRow {
 	hw := sw26010.Default()
 	cg := sw26010.NewCoreGroup(hw)
+	defer cg.Close() // this CG is per-call; don't pin its worker pool
 	var rows []SumRow
 	section(w, "Ablation: gradient summation on MPE vs CPE clusters")
 	tw := newTab(w)

@@ -1,6 +1,7 @@
 package sw26010
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 )
@@ -40,9 +41,25 @@ type message struct {
 	ts   float64 // sender's simulated clock when the message entered the bus
 }
 
+// errAborted is the sentinel panic value used to unwind CPE goroutines
+// blocked on buses or barriers when a peer's kernel panics. Workers
+// recover it and return to the pool; it never escapes to callers.
+var errAborted = errors.New("sw26010: launch aborted by peer panic")
+
 // CoreGroup is one of the four CGs of an SW26010: an 8x8 CPE mesh plus
 // register buses. A CoreGroup is single-kernel: Run launches a kernel
 // across the mesh and returns its simulated execution time.
+//
+// Execution engine: the 64 CPE structs, their bus channels and their
+// worker goroutines are created once, on the first launch, and reused
+// for every subsequent launch (athread-style persistent thread pool).
+// RunN is a dispatch/join handshake over that pool; per-launch state
+// (clock, stats, LDM accounting) is reset in place, so steady-state
+// launches allocate nothing on the host. Launches on one CoreGroup are
+// serialized by an internal lock; simulated results are identical to
+// spawning fresh goroutines per launch, only the host-side cost
+// differs. Call Close when permanently done with a CoreGroup to stop
+// its workers (optional for process-lifetime groups).
 type CoreGroup struct {
 	Model *Model
 
@@ -54,6 +71,23 @@ type CoreGroup struct {
 
 	mu    sync.Mutex
 	stats Stats
+
+	// Persistent execution engine (lazily built by the first launch).
+	launchMu sync.Mutex // serializes launches on this CoreGroup
+	pes      []*CPE
+	barrier  *barrier
+	done     chan workerResult
+	started  bool
+	closed   bool
+
+	// Per-launch state, written under launchMu before dispatch.
+	kernel    func(pe *CPE)
+	abort     chan struct{}
+	abortOnce *sync.Once
+}
+
+type workerResult struct {
+	panicMsg string // non-empty when the kernel panicked with a real error
 }
 
 // NewCoreGroup builds a CG around the given hardware model.
@@ -78,6 +112,22 @@ func (cg *CoreGroup) ResetStats() {
 	cg.stats = Stats{}
 }
 
+// Close stops the worker pool. The CoreGroup must not be used after
+// Close. Closing a CoreGroup that never ran a kernel is a no-op;
+// Close is idempotent.
+func (cg *CoreGroup) Close() {
+	cg.launchMu.Lock()
+	defer cg.launchMu.Unlock()
+	if !cg.started || cg.closed {
+		cg.closed = true
+		return
+	}
+	for _, pe := range cg.pes {
+		close(pe.start)
+	}
+	cg.closed = true
+}
+
 // CPE is one computing processing element executing inside a kernel.
 // All methods must be called only from the goroutine that runs the
 // kernel body for this CPE.
@@ -92,10 +142,19 @@ type CPE struct {
 
 	ldmUsed int
 	ldmPeak int
+	ldmLive [][]float32 // outstanding Alloc buffers (recycling bookkeeping)
+	ldmFree [][]float32 // released buffers available for reuse
+
+	// sent/received count bus messages enqueued by / dequeued on this
+	// CPE; the engine compares the totals after a launch to decide
+	// whether any FIFO needs draining before the next launch.
+	sent     int64
+	received int64
 
 	rowIn [MeshDim]chan message // rowIn[srcCol]: messages from (Row, srcCol)
 	colIn [MeshDim]chan message // colIn[srcRow]: messages from (srcRow, Col)
 
+	start   chan struct{} // launch dispatch signal from the host
 	barrier *barrier
 	peers   []*CPE
 }
@@ -109,9 +168,15 @@ func (pe *CPE) AdvanceClock(dt float64) { pe.clock += dt }
 
 // --- LDM management -------------------------------------------------
 
-// Alloc reserves n float32 slots of LDM and returns the buffer. It
-// panics if the 64 KB budget would be exceeded — kernels are expected
-// to plan their tiling so everything fits (Principle 2).
+// maxLDMFree bounds the per-CPE freelist; LDM is only 64 KB so a
+// handful of retained buffers covers every kernel's working set.
+const maxLDMFree = 32
+
+// Alloc reserves n float32 slots of LDM and returns the buffer, zeroed.
+// It panics if the 64 KB budget would be exceeded — kernels are
+// expected to plan their tiling so everything fits (Principle 2).
+// Buffers are recycled across Alloc/Release cycles and launches, so a
+// kernel must not touch a buffer after releasing its slots.
 func (pe *CPE) Alloc(n int) []float32 {
 	bytes := n * 4
 	if pe.ldmUsed+bytes > pe.cg.Model.LDMBudget {
@@ -122,15 +187,48 @@ func (pe *CPE) Alloc(n int) []float32 {
 	if pe.ldmUsed > pe.ldmPeak {
 		pe.ldmPeak = pe.ldmUsed
 	}
-	return make([]float32, n)
+	for i := len(pe.ldmFree) - 1; i >= 0; i-- {
+		if cap(pe.ldmFree[i]) >= n {
+			buf := pe.ldmFree[i][:n]
+			pe.ldmFree[i] = pe.ldmFree[len(pe.ldmFree)-1]
+			pe.ldmFree = pe.ldmFree[:len(pe.ldmFree)-1]
+			clear(buf)
+			pe.ldmLive = append(pe.ldmLive, buf)
+			return buf
+		}
+	}
+	buf := make([]float32, n)
+	pe.ldmLive = append(pe.ldmLive, buf)
+	return buf
 }
 
 // Release returns n float32 slots to the LDM budget (arena style: the
 // caller frees what it allocated, typically per outer-loop tile).
+//
+// Recycling contract: Release frees the *most recently allocated*
+// outstanding buffer of exactly n slots and makes it eligible for
+// reuse by a later Alloc. When a kernel holds several same-size
+// buffers, it must therefore release them newest-first relative to
+// the ones it keeps using (releasing an older same-size buffer while
+// still writing a newer one would let Alloc recycle the in-use one).
+// Every in-tree kernel follows this stack discipline naturally;
+// buffers of distinct sizes are unconstrained.
 func (pe *CPE) Release(n int) {
 	pe.ldmUsed -= n * 4
 	if pe.ldmUsed < 0 {
 		panic("sw26010: LDM release underflow")
+	}
+	for i := len(pe.ldmLive) - 1; i >= 0; i-- {
+		if len(pe.ldmLive[i]) == n {
+			buf := pe.ldmLive[i]
+			// Ordered removal: ldmLive must stay in allocation order or
+			// the newest-first size matching above breaks.
+			pe.ldmLive = append(pe.ldmLive[:i], pe.ldmLive[i+1:]...)
+			if len(pe.ldmFree) < maxLDMFree {
+				pe.ldmFree = append(pe.ldmFree, buf)
+			}
+			return
+		}
 	}
 }
 
@@ -233,6 +331,38 @@ func (pe *CPE) chargeRLCRecv(ts float64, bytes int64) {
 	pe.stats.RLCTime += t
 }
 
+// busSend enqueues a message, aborting if the launch is unwinding
+// after a peer panic (so no sender blocks forever on a full FIFO).
+func (pe *CPE) busSend(ch chan message, msg message) {
+	pe.sent++
+	select {
+	case ch <- msg:
+		return
+	default:
+	}
+	select {
+	case ch <- msg:
+	case <-pe.cg.abort:
+		panic(errAborted)
+	}
+}
+
+// busRecv dequeues a message, aborting if the launch is unwinding.
+func (pe *CPE) busRecv(ch chan message) message {
+	pe.received++
+	select {
+	case msg := <-ch:
+		return msg
+	default:
+	}
+	select {
+	case msg := <-ch:
+		return msg
+	case <-pe.cg.abort:
+		panic(errAborted)
+	}
+}
+
 // RowBroadcast sends data to every other CPE in the same row (the
 // hardware broadcast mode of the row register bus).
 func (pe *CPE) RowBroadcast(data []float32) {
@@ -242,14 +372,14 @@ func (pe *CPE) RowBroadcast(data []float32) {
 		if c == pe.Col {
 			continue
 		}
-		pe.peer(pe.Row, c).rowIn[pe.Col] <- msg
+		pe.busSend(pe.peer(pe.Row, c).rowIn[pe.Col], msg)
 	}
 }
 
 // RowRecv receives a message sent on this row by the CPE in column
 // fromCol (either broadcast or P2P).
 func (pe *CPE) RowRecv(fromCol int) []float32 {
-	msg := <-pe.rowIn[fromCol]
+	msg := pe.busRecv(pe.rowIn[fromCol])
 	pe.chargeRLCRecv(msg.ts, int64(len(msg.data))*4)
 	return msg.data
 }
@@ -260,7 +390,7 @@ func (pe *CPE) RowSend(toCol int, data []float32) {
 		panic("sw26010: RowSend to self")
 	}
 	ts := pe.chargeRLCSend(int64(len(data)) * 4)
-	pe.peer(pe.Row, toCol).rowIn[pe.Col] <- message{data: data, ts: ts}
+	pe.busSend(pe.peer(pe.Row, toCol).rowIn[pe.Col], message{data: data, ts: ts})
 }
 
 // ColBroadcast sends data to every other CPE in the same column.
@@ -271,14 +401,14 @@ func (pe *CPE) ColBroadcast(data []float32) {
 		if r == pe.Row {
 			continue
 		}
-		pe.peer(r, pe.Col).colIn[pe.Row] <- msg
+		pe.busSend(pe.peer(r, pe.Col).colIn[pe.Row], msg)
 	}
 }
 
 // ColRecv receives a message sent on this column by the CPE in row
 // fromRow.
 func (pe *CPE) ColRecv(fromRow int) []float32 {
-	msg := <-pe.colIn[fromRow]
+	msg := pe.busRecv(pe.colIn[fromRow])
 	pe.chargeRLCRecv(msg.ts, int64(len(msg.data))*4)
 	return msg.data
 }
@@ -289,7 +419,7 @@ func (pe *CPE) ColSend(toRow int, data []float32) {
 		panic("sw26010: ColSend to self")
 	}
 	ts := pe.chargeRLCSend(int64(len(data)) * 4)
-	pe.peer(toRow, pe.Col).colIn[pe.Row] <- message{data: data, ts: ts}
+	pe.busSend(pe.peer(toRow, pe.Col).colIn[pe.Row], message{data: data, ts: ts})
 }
 
 func (pe *CPE) peer(row, col int) *CPE { return pe.peers[row*MeshDim+col] }
@@ -308,18 +438,49 @@ type barrier struct {
 	n       int
 	waiting int
 	maxT    float64
+	// release is the clock every waiter of the just-completed
+	// generation aligns to. Reading maxT directly after waking would
+	// race with fast CPEs that already entered the next generation and
+	// raised maxT, making simulated time scheduling-dependent (a bug
+	// the pre-pool engine had). release can only be overwritten when
+	// the next generation completes, which requires every waiter of
+	// this generation to have returned first — so it is stable.
+	release float64
 	gen     int
+	aborted bool
 }
 
-func newBarrier(n int) *barrier {
-	b := &barrier{n: n}
+func newBarrier() *barrier {
+	b := &barrier{}
 	b.cond = sync.NewCond(&b.mu)
 	return b
+}
+
+// reset prepares the barrier for a fresh launch of n participants.
+func (b *barrier) reset(n int) {
+	b.mu.Lock()
+	b.n = n
+	b.waiting = 0
+	b.maxT = 0
+	b.release = 0
+	b.aborted = false
+	b.mu.Unlock()
+}
+
+// abortAll wakes every waiter; they unwind with errAborted.
+func (b *barrier) abortAll() {
+	b.mu.Lock()
+	b.aborted = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
 }
 
 func (b *barrier) wait(t float64) float64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.aborted {
+		panic(errAborted)
+	}
 	if t > b.maxT {
 		b.maxT = t
 	}
@@ -327,14 +488,18 @@ func (b *barrier) wait(t float64) float64 {
 	gen := b.gen
 	if b.waiting == b.n {
 		b.waiting = 0
+		b.release = b.maxT
 		b.gen++
 		b.cond.Broadcast()
-		return b.maxT
+		return b.release
 	}
-	for gen == b.gen {
+	for gen == b.gen && !b.aborted {
 		b.cond.Wait()
 	}
-	return b.maxT
+	if b.aborted {
+		panic(errAborted)
+	}
+	return b.release
 }
 
 // --- kernel launch ----------------------------------------------------
@@ -346,63 +511,147 @@ func (cg *CoreGroup) Run(kernel func(pe *CPE)) float64 {
 	return cg.RunN(CPEsPerCG, kernel)
 }
 
-// RunN launches kernel on the first n CPEs in row-major order. The
-// mesh buses are wired for all 64 positions, but only the first n
-// participate; DMA contention is charged for n active CPEs.
-func (cg *CoreGroup) RunN(n int, kernel func(pe *CPE)) float64 {
-	if n <= 0 || n > CPEsPerCG {
-		panic(fmt.Sprintf("sw26010: RunN n=%d out of range", n))
+// ensureWorkers builds the persistent mesh — CPE structs, bus channels
+// and one worker goroutine per CPE — on the first launch.
+func (cg *CoreGroup) ensureWorkers() {
+	if cg.started {
+		return
 	}
-	pes := make([]*CPE, CPEsPerCG)
-	bar := newBarrier(n)
-	for i := range pes {
-		pe := &CPE{Row: i / MeshDim, Col: i % MeshDim, ID: i, Active: n, cg: cg, barrier: bar}
+	cg.pes = make([]*CPE, CPEsPerCG)
+	cg.barrier = newBarrier()
+	cg.done = make(chan workerResult, CPEsPerCG)
+	for i := range cg.pes {
+		pe := &CPE{Row: i / MeshDim, Col: i % MeshDim, ID: i, cg: cg,
+			barrier: cg.barrier, start: make(chan struct{}, 1)}
 		for j := 0; j < MeshDim; j++ {
 			pe.rowIn[j] = make(chan message, cg.busDepth)
 			pe.colIn[j] = make(chan message, cg.busDepth)
 		}
-		pes[i] = pe
+		cg.pes[i] = pe
 	}
-	for _, pe := range pes {
-		pe.peers = pes
+	for _, pe := range cg.pes {
+		pe.peers = cg.pes
 	}
-	var wg sync.WaitGroup
-	wg.Add(n)
-	panicCh := make(chan string, n)
-	for i := 0; i < n; i++ {
-		go func(pe *CPE) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panicCh <- fmt.Sprintf("CPE(%d,%d): %v", pe.Row, pe.Col, r)
-				}
-			}()
-			kernel(pe)
-		}(pes[i])
+	for _, pe := range cg.pes {
+		go cg.worker(pe)
 	}
-	// Forward a kernel panic to the launching goroutine. A panicking
-	// CPE can leave peers blocked on buses or barriers, so do not
-	// insist on joining them first (a fatal path may leak goroutines).
-	done := make(chan struct{})
-	go func() {
-		wg.Wait()
-		close(done)
+	cg.started = true
+}
+
+// worker is the persistent goroutine of one CPE: it waits for a
+// dispatch signal, runs the launch's kernel, reports, and loops.
+func (cg *CoreGroup) worker(pe *CPE) {
+	for range pe.start {
+		cg.done <- workerResult{panicMsg: cg.runKernel(pe)}
+	}
+}
+
+// runKernel executes the current kernel on pe, converting a panic into
+// a report for the host. A real kernel panic triggers launch abort so
+// peers blocked on buses or barriers unwind instead of leaking.
+func (cg *CoreGroup) runKernel(pe *CPE) (panicMsg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r == errAborted {
+				return // unwound by a peer's panic; nothing to report
+			}
+			panicMsg = fmt.Sprintf("CPE(%d,%d): %v", pe.Row, pe.Col, r)
+			cg.abortLaunch()
+		}
 	}()
-	select {
-	case msg := <-panicCh:
-		panic("sw26010: kernel panic on " + msg)
-	case <-done:
+	cg.kernel(pe)
+	return ""
+}
+
+// abortLaunch unblocks every CPE of the current launch exactly once.
+func (cg *CoreGroup) abortLaunch() {
+	cg.abortOnce.Do(func() {
+		close(cg.abort)
+		cg.barrier.abortAll()
+	})
+}
+
+// drainBuses empties every bus FIFO so a leftover message cannot leak
+// into the next launch (after a panic, or when a kernel enqueued more
+// messages than its peers consumed).
+func (cg *CoreGroup) drainBuses() {
+	for _, pe := range cg.pes {
+		for j := 0; j < MeshDim; j++ {
+			for len(pe.rowIn[j]) > 0 {
+				<-pe.rowIn[j]
+			}
+			for len(pe.colIn[j]) > 0 {
+				<-pe.colIn[j]
+			}
+		}
 	}
-	select {
-	case msg := <-panicCh:
-		panic("sw26010: kernel panic on " + msg)
-	default:
+}
+
+// RunN launches kernel on the first n CPEs in row-major order. The
+// mesh buses are wired for all 64 positions, but only the first n
+// participate; DMA contention is charged for n active CPEs.
+//
+// RunN dispatches onto the persistent worker pool; concurrent calls on
+// one CoreGroup are serialized. If the kernel panics on any CPE the
+// launch is aborted, every worker returns to the pool (no goroutine
+// leaks), the buses are drained, and the panic is re-raised on the
+// calling goroutine; the CoreGroup remains usable.
+func (cg *CoreGroup) RunN(n int, kernel func(pe *CPE)) float64 {
+	if n <= 0 || n > CPEsPerCG {
+		panic(fmt.Sprintf("sw26010: RunN n=%d out of range", n))
+	}
+	cg.launchMu.Lock()
+	defer cg.launchMu.Unlock()
+	if cg.closed {
+		panic("sw26010: RunN on a closed CoreGroup")
+	}
+	cg.ensureWorkers()
+
+	// Reset per-launch state in place.
+	cg.kernel = kernel
+	cg.abort = make(chan struct{})
+	cg.abortOnce = new(sync.Once)
+	cg.barrier.reset(n)
+	for i := 0; i < n; i++ {
+		pe := cg.pes[i]
+		pe.Active = n
+		pe.clock = 0
+		pe.stats = Stats{}
+		pe.ldmUsed, pe.ldmPeak = 0, 0
+		pe.ldmLive = pe.ldmLive[:0]
+		pe.sent, pe.received = 0, 0
+	}
+
+	// Dispatch and join.
+	for i := 0; i < n; i++ {
+		cg.pes[i].start <- struct{}{}
+	}
+	var panicMsg string
+	for i := 0; i < n; i++ {
+		if r := <-cg.done; r.panicMsg != "" && panicMsg == "" {
+			panicMsg = r.panicMsg
+		}
+	}
+	if panicMsg != "" {
+		cg.drainBuses()
+		panic("sw26010: kernel panic on " + panicMsg)
+	}
+
+	// A well-formed kernel consumes every message it sends; if not,
+	// drain so the next launch starts with empty FIFOs.
+	var sent, received int64
+	for i := 0; i < n; i++ {
+		sent += cg.pes[i].sent
+		received += cg.pes[i].received
+	}
+	if sent != received {
+		cg.drainBuses()
 	}
 
 	var maxClock float64
 	var agg Stats
 	for i := 0; i < n; i++ {
-		pe := pes[i]
+		pe := cg.pes[i]
 		if pe.clock > maxClock {
 			maxClock = pe.clock
 		}

@@ -184,9 +184,16 @@ func minChannels(s ConvShape) int {
 }
 
 // ConvImplicitPlan prices the implicit-GEMM convolution for one pass.
+// Results are memoized per (model, shape, pass).
 func ConvImplicitPlan(hw *sw26010.Model, s ConvShape, pass Pass) *Plan {
+	return cachedPlan(convKey(hw, opConvImplicit, s, pass), func() Plan {
+		return convImplicitPlan(hw, s, pass)
+	})
+}
+
+func convImplicitPlan(hw *sw26010.Model, s ConvShape, pass Pass) Plan {
 	if err := s.Validate(); err != nil {
-		return Infeasible("implicit", err.Error())
+		return *Infeasible("implicit", err.Error())
 	}
 	minC := minChannels(s)
 	threshold := implicitMinChannelsFwd
@@ -194,7 +201,7 @@ func ConvImplicitPlan(hw *sw26010.Model, s ConvShape, pass Pass) *Plan {
 		threshold = implicitMinChannelsBwd
 	}
 	if minC < threshold {
-		return Infeasible("implicit",
+		return *Infeasible("implicit",
 			"channel count too small for SIMD/register-communication blocking")
 	}
 	ro, co := s.OutDims()
@@ -223,7 +230,7 @@ func ConvImplicitPlan(hw *sw26010.Model, s ConvShape, pass Pass) *Plan {
 	case BackwardInput:
 		t *= implicitBwdInputRatio
 	}
-	return &Plan{
+	return Plan{
 		Name: "implicit", Feasible: true,
 		Time:        t,
 		ComputeTime: compute,
@@ -236,10 +243,16 @@ func ConvImplicitPlan(hw *sw26010.Model, s ConvShape, pass Pass) *Plan {
 // ConvExplicitPlan prices the explicit-GEMM convolution for one pass:
 // im2col (skipped for 1x1/stride-1 where the input already is the
 // column matrix, as Caffe does), a per-image GEMM, and col2im on the
-// input-gradient path.
+// input-gradient path. Results are memoized per (model, shape, pass).
 func ConvExplicitPlan(hw *sw26010.Model, s ConvShape, pass Pass) *Plan {
+	return cachedPlan(convKey(hw, opConvExplicit, s, pass), func() Plan {
+		return convExplicitPlan(hw, s, pass)
+	})
+}
+
+func convExplicitPlan(hw *sw26010.Model, s ConvShape, pass Pass) Plan {
 	if err := s.Validate(); err != nil {
-		return Infeasible("explicit", err.Error())
+		return *Infeasible("explicit", err.Error())
 	}
 	ro, co := s.OutDims()
 	flops := s.Flops()
@@ -266,7 +279,7 @@ func ConvExplicitPlan(hw *sw26010.Model, s ConvShape, pass Pass) *Plan {
 	case BackwardInput:
 		t *= explicitBwdInputRatio
 	}
-	return &Plan{
+	return Plan{
 		Name: "explicit", Feasible: true,
 		Time:        t,
 		ComputeTime: compute,
@@ -333,11 +346,12 @@ func RefConvForward(src, weights, bias []float32, s ConvShape, dst []float32) {
 func ConvExplicitRun(cg *sw26010.CoreGroup, src, weights, bias []float32, s ConvShape, dst []float32) float64 {
 	ro, co := s.OutDims()
 	kdim := s.K * s.K * s.Ni
-	col := make([]float32, kdim*ro*co)
+	// Pooled column buffer: Im2colRun writes every element, so no
+	// clearing is needed on reuse.
+	col := getStaging(kdim * ro * co)
+	defer putStaging(col)
 	t := Im2colRun(cg, src, s, col)
-	for i := range dst[:s.No*ro*co] {
-		dst[i] = 0
-	}
+	clear(dst[:s.No*ro*co])
 	t += GEMMRun(cg, weights, col, dst, s.No, kdim, ro*co)
 	if bias != nil {
 		t += cg.Run(func(pe *sw26010.CPE) {

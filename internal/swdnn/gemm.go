@@ -2,6 +2,7 @@ package swdnn
 
 import (
 	"fmt"
+	"sync"
 
 	"swcaffe/internal/sw26010"
 )
@@ -29,16 +30,23 @@ const mesh = sw26010.MeshDim
 func GEMMRun(cg *sw26010.CoreGroup, a, b, c []float32, m, k, n int) float64 {
 	checkGEMMArgs(a, b, c, m, k, n)
 	mp, kp, np := pad8(m), pad8(k), pad8(n)
-	ap, bp, cp := a, b, c
-	if mp != m || kp != k || np != n {
-		ap = padMatrix(a, m, k, mp, kp)
-		bp = padMatrix(b, k, n, kp, np)
-		cp = padMatrix(c, m, n, mp, np)
+	if mp == m && kp == k && np == n {
+		return gemmPadded(cg, a, b, c, m, k, n)
 	}
+	// Ragged dims stage through pooled zero-padded buffers (the MPE
+	// staging copy swCaffe performs); steady-state this allocates
+	// nothing.
+	ap := getStaging(mp * kp)
+	bp := getStaging(kp * np)
+	cp := getStaging(mp * np)
+	padMatrix(a, m, k, mp, kp, ap)
+	padMatrix(b, k, n, kp, np, bp)
+	padMatrix(c, m, n, mp, np, cp)
 	t := gemmPadded(cg, ap, bp, cp, mp, kp, np)
-	if mp != m || kp != k || np != n {
-		unpadMatrix(cp, c, m, n, np)
-	}
+	unpadMatrix(cp, c, m, n, np)
+	putStaging(ap)
+	putStaging(bp)
+	putStaging(cp)
 	return t
 }
 
@@ -53,12 +61,34 @@ func checkGEMMArgs(a, b, c []float32, m, k, n int) {
 
 func pad8(x int) int { return (x + mesh - 1) / mesh * mesh }
 
-func padMatrix(src []float32, r, c, rp, cp int) []float32 {
-	dst := make([]float32, rp*cp)
+// stagingPool recycles the zero-padded staging matrices (and the
+// explicit convolution's column buffers) across kernel invocations.
+// Pointers to slices are pooled so Put itself does not allocate.
+var stagingPool sync.Pool
+
+// getStaging returns a length-n buffer whose contents are
+// unspecified; callers must fully overwrite or clear it.
+func getStaging(n int) []float32 {
+	if v := stagingPool.Get(); v != nil {
+		bp := v.(*[]float32)
+		if cap(*bp) >= n {
+			return (*bp)[:n]
+		}
+		// Too small for this shape: let it go and grow a fresh one.
+	}
+	return make([]float32, n)
+}
+
+func putStaging(s []float32) {
+	stagingPool.Put(&s)
+}
+
+// padMatrix zero-pads an (r x c) matrix into the (rp x cp) buffer dst.
+func padMatrix(src []float32, r, c, rp, cp int, dst []float32) {
+	clear(dst[:rp*cp])
 	for i := 0; i < r; i++ {
 		copy(dst[i*cp:i*cp+c], src[i*c:(i+1)*c])
 	}
-	return dst
 }
 
 func unpadMatrix(src, dst []float32, r, c, cp int) {
@@ -121,7 +151,10 @@ func gemmPadded(cg *sw26010.CoreGroup, a, b, c []float32, m, k, n int) float64 {
 }
 
 // microGEMM is the host-side stand-in for the CPE's register-blocked
-// SIMD inner loop: ct[tm×tn] += a[tm×tk]·b[tk×tn].
+// SIMD inner loop: ct[tm×tn] += a[tm×tk]·b[tk×tn]. The j loop is
+// blocked 4 wide with the bounds checks hoisted via re-slicing; the
+// per-element accumulation order is unchanged, so results stay
+// bit-identical to the straight loop.
 func microGEMM(ct, a, b []float32, tm, tk, tn int) {
 	for ii := 0; ii < tm; ii++ {
 		arow := a[ii*tk : (ii+1)*tk]
@@ -130,11 +163,28 @@ func microGEMM(ct, a, b []float32, tm, tk, tn int) {
 			if av == 0 {
 				continue
 			}
-			brow := b[kk*tn : (kk+1)*tn]
-			for jj, bv := range brow {
-				crow[jj] += av * bv
-			}
+			axpy(crow, b[kk*tn:(kk+1)*tn], av)
 		}
+	}
+}
+
+// axpy computes crow[j] += av * brow[j] with a 4-wide unroll. crow and
+// brow must have equal length; the re-slice pins that for the bounds-
+// check eliminator.
+func axpy(crow, brow []float32, av float32) {
+	n := len(crow)
+	brow = brow[:n]
+	jj := 0
+	for ; jj+4 <= n; jj += 4 {
+		c := crow[jj : jj+4 : jj+4]
+		b4 := brow[jj : jj+4 : jj+4]
+		c[0] += av * b4[0]
+		c[1] += av * b4[1]
+		c[2] += av * b4[2]
+		c[3] += av * b4[3]
+	}
+	for ; jj < n; jj++ {
+		crow[jj] += av * brow[jj]
 	}
 }
 
@@ -142,8 +192,15 @@ func microGEMM(ct, a, b []float32, tm, tk, tn int) {
 // most the padded matrix dims) maximizing the compute-to-DMA ratio
 // under the LDM budget. Per-CPE LDM holds one tile of each operand
 // plus two receive buffers (the largest of the A/B tiles, double-
-// buffered by the bus FIFO).
+// buffered by the bus FIFO). Results are memoized per (model, shape).
 func chooseGEMMBlocks(hw *sw26010.Model, m, k, n int) (bm, bk, bn int) {
+	return cachedBlocks(gemmKey(hw, opGEMMBlocks, m, k, n), func() [3]int {
+		bm, bk, bn := searchGEMMBlocks(hw, m, k, n)
+		return [3]int{bm, bk, bn}
+	})
+}
+
+func searchGEMMBlocks(hw *sw26010.Model, m, k, n int) (bm, bk, bn int) {
 	budget := hw.LDMBudget
 	best := -1.0
 	bm, bk, bn = mesh, mesh, mesh
@@ -206,8 +263,16 @@ func maxInt(a, b int) int {
 // block sizes may overhang the matrix (padded edges are priced), which
 // lets awkward dimensions such as n = Ho·Wo = 3136 still use large DMA
 // blocks. It prices every feasible candidate with the full cost model
-// and keeps the fastest.
+// and keeps the fastest. The O(candidates^3) search is memoized per
+// (model, shape).
 func choosePlanBlocks(hw *sw26010.Model, m, k, n int) (bm, bk, bn int) {
+	return cachedBlocks(gemmKey(hw, opPlanBlocks, m, k, n), func() [3]int {
+		bm, bk, bn := searchPlanBlocks(hw, m, k, n)
+		return [3]int{bm, bk, bn}
+	})
+}
+
+func searchPlanBlocks(hw *sw26010.Model, m, k, n int) (bm, bk, bn int) {
 	best := -1.0
 	bm, bk, bn = mesh, mesh, mesh
 	for _, cm := range planBlockCandidates(m) {
@@ -272,13 +337,16 @@ func gemmPlanNamed(hw *sw26010.Model, name string, m, k, n int) *Plan {
 	if m <= 0 || k <= 0 || n <= 0 {
 		return Infeasible(name, "non-positive dimension")
 	}
-	bm, bk, bn := choosePlanBlocks(hw, m, k, n)
-	p, ok := priceGEMM(hw, m, k, n, bm, bk, bn)
-	if !ok {
-		return Infeasible(name, "no tiling fits the LDM budget")
-	}
+	p := cachedPlan(gemmKey(hw, opGEMMPlan, m, k, n), func() Plan {
+		bm, bk, bn := choosePlanBlocks(hw, m, k, n)
+		p, ok := priceGEMM(hw, m, k, n, bm, bk, bn)
+		if !ok {
+			return Plan{Feasible: false, Reason: "no tiling fits the LDM budget"}
+		}
+		return p
+	})
 	p.Name = name
-	return &p
+	return p
 }
 
 // GEMMPlanNoRLC prices the same blocked GEMM with register-level
@@ -287,29 +355,33 @@ func gemmPlanNamed(hw *sw26010.Model, name string, m, k, n int) *Plan {
 // them over the row/column buses, multiplying the A/B traffic by the
 // mesh dimension. This is the Principle-4 ablation.
 func GEMMPlanNoRLC(hw *sw26010.Model, m, k, n int) *Plan {
-	bm, bk, bn := choosePlanBlocks(hw, m, k, n)
-	p, ok := priceGEMM(hw, m, k, n, bm, bk, bn)
-	if !ok {
-		return Infeasible("gemm-no-rlc", "no tiling fits the LDM budget")
-	}
-	p.Name = "gemm-no-rlc"
-	tm, tk, tn := bm/mesh, bk/mesh, bn/mesh
-	nBi := (m + bm - 1) / bm
-	nBj := (n + bn - 1) / bn
-	nBt := (k + bk - 1) / bk
-	// Extra per-step fetches: (mesh-1) remote A tiles and B tiles per
-	// CPE per macro-block, straight from DRAM.
-	aGet := hw.DMATime(sw26010.DMAGet, int64(tm*tk*4), sw26010.CPEsPerCG, int64(tk*4))
-	bGet := hw.DMATime(sw26010.DMAGet, int64(tk*tn*4), sw26010.CPEsPerCG, int64(tn*4))
-	extra := float64(nBi*nBj*nBt) * float64(mesh-1) * (aGet + bGet)
-	p.DMATime += extra
-	p.RLCTime = 0
-	p.Time = combine(p.DMATime, p.ComputeTime, 0) + kernelLaunch
-	return &p
+	return cachedPlan(gemmKey(hw, opGEMMNoRLC, m, k, n), func() Plan {
+		bm, bk, bn := choosePlanBlocks(hw, m, k, n)
+		p, ok := priceGEMM(hw, m, k, n, bm, bk, bn)
+		if !ok {
+			return Plan{Name: "gemm-no-rlc", Feasible: false, Reason: "no tiling fits the LDM budget"}
+		}
+		p.Name = "gemm-no-rlc"
+		tm, tk, tn := bm/mesh, bk/mesh, bn/mesh
+		nBi := (m + bm - 1) / bm
+		nBj := (n + bn - 1) / bn
+		nBt := (k + bk - 1) / bk
+		// Extra per-step fetches: (mesh-1) remote A tiles and B tiles per
+		// CPE per macro-block, straight from DRAM.
+		aGet := hw.DMATime(sw26010.DMAGet, int64(tm*tk*4), sw26010.CPEsPerCG, int64(tk*4))
+		bGet := hw.DMATime(sw26010.DMAGet, int64(tk*tn*4), sw26010.CPEsPerCG, int64(tn*4))
+		extra := float64(nBi*nBj*nBt) * float64(mesh-1) * (aGet + bGet)
+		p.DMATime += extra
+		p.RLCTime = 0
+		p.Time = combine(p.DMATime, p.ComputeTime, 0) + kernelLaunch
+		return p
+	})
 }
 
 // RefGEMM is the plain host reference C += A·B used by the test suite
-// and by the functional layer math (the "MPE-only" baseline).
+// and by the functional layer math (the "MPE-only" baseline). The
+// inner loop shares microGEMM's 4-wide axpy; accumulation order per
+// element is identical to the naive triple loop.
 func RefGEMM(a, b, c []float32, m, k, n int) {
 	checkGEMMArgs(a, b, c, m, k, n)
 	for i := 0; i < m; i++ {
@@ -319,10 +391,7 @@ func RefGEMM(a, b, c []float32, m, k, n int) {
 			if av == 0 {
 				continue
 			}
-			brow := b[kk*n : (kk+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
+			axpy(crow, b[kk*n:(kk+1)*n], av)
 		}
 	}
 }
@@ -336,20 +405,38 @@ func RefGEMMTransA(a, b, c []float32, m, k, n int) {
 			if av == 0 {
 				continue
 			}
-			crow := c[i*n : (i+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
+			axpy(c[i*n:(i+1)*n], brow, av)
 		}
 	}
 }
 
-// RefGEMMTransB computes C[m×n] += A·Bᵀ where B is [n×k].
+// RefGEMMTransB computes C[m×n] += A·Bᵀ where B is [n×k]. Four output
+// columns are produced per sweep of A's row, with one independent
+// accumulator each — every accumulator still sums in kk order, so
+// results match the one-column-at-a-time loop bit for bit.
 func RefGEMMTransB(a, b, c []float32, m, k, n int) {
 	for i := 0; i < m; i++ {
 		arow := a[i*k : (i+1)*k]
 		crow := c[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b[j*k : (j+1)*k]
+			b1 := b[(j+1)*k : (j+2)*k]
+			b2 := b[(j+2)*k : (j+3)*k]
+			b3 := b[(j+3)*k : (j+4)*k]
+			var s0, s1, s2, s3 float32
+			for kk, av := range arow {
+				s0 += av * b0[kk]
+				s1 += av * b1[kk]
+				s2 += av * b2[kk]
+				s3 += av * b3[kk]
+			}
+			crow[j] += s0
+			crow[j+1] += s1
+			crow[j+2] += s2
+			crow[j+3] += s3
+		}
+		for ; j < n; j++ {
 			brow := b[j*k : (j+1)*k]
 			var s float32
 			for kk, av := range arow {

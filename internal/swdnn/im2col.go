@@ -154,9 +154,7 @@ func Im2colRun(cg *sw26010.CoreGroup, src []float32, s ConvShape, dst []float32)
 			for oy := 0; oy < ro; oy++ {
 				iy := oy*s.S + ky - s.P
 				if iy < 0 || iy >= s.Ri {
-					for i := range out {
-						out[i] = 0
-					}
+					clear(out)
 				} else {
 					pe.DMAGet(in, src[(c*s.Ri+iy)*s.Ci:(c*s.Ri+iy)*s.Ci+s.Ci])
 					for ox := 0; ox < co; ox++ {
@@ -180,6 +178,12 @@ func Im2colRun(cg *sw26010.CoreGroup, src []float32, s ConvShape, dst []float32)
 // written B·Ni·K²·Ro column-matrix lines (Co values each), exactly the
 // per-row DMA schedule of Fig. 4.
 func Im2colPlan(hw *sw26010.Model, s ConvShape) *Plan {
+	return cachedPlan(convKey(hw, opIm2col, s, 0), func() Plan {
+		return im2colPlan(hw, s)
+	})
+}
+
+func im2colPlan(hw *sw26010.Model, s ConvShape) Plan {
 	ro, co := s.OutDims()
 	lines := float64(s.B) * float64(s.Ni) * float64(s.K*s.K) * float64(ro)
 	getBytes := lines * float64(s.Ci) * 4
@@ -193,7 +197,7 @@ func Im2colPlan(hw *sw26010.Model, s ConvShape) *Plan {
 	dma := getBytes/getBW + putBytes/putBW + descTime
 	compute := hw.ComputeTime(lines*float64(co)/simdEfficiency, sw26010.CPEsPerCG)
 
-	return &Plan{
+	return Plan{
 		Name: "im2col", Feasible: true,
 		Time:    combine(dma, compute, 0) + kernelLaunch,
 		DMATime: dma, ComputeTime: compute,

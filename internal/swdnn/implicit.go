@@ -84,9 +84,7 @@ func ConvImplicitRun(cg *sw26010.CoreGroup, x, w []float32, s ConvShape, y []flo
 					s.Ci, niB*s.B, s.Ni*s.B)
 			}
 			// Compute the partial output row from this Ni block.
-			for z := range part {
-				part[z] = 0
-			}
+			clear(part)
 			for ox := 0; ox < co; ox++ {
 				for ky := 0; ky < s.K; ky++ {
 					for kx := 0; kx < s.K; kx++ {
@@ -116,7 +114,11 @@ func ConvImplicitRun(cg *sw26010.CoreGroup, x, w []float32, s ConvShape, y []flo
 
 			// Row-wise reduction of the Ni partials onto column 0.
 			if j != 0 {
-				pe.RowSend(0, append([]float32(nil), part...))
+				// part is sent by reference: column 0 consumes the
+				// message before its barrier arrival, and the sender
+				// does not touch part again until after that barrier,
+				// so no defensive copy is needed.
+				pe.RowSend(0, part)
 			} else {
 				for src := 1; src < mesh; src++ {
 					in := pe.RowRecv(src)

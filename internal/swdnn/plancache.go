@@ -1,0 +1,102 @@
+package swdnn
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"swcaffe/internal/sw26010"
+)
+
+// Plan memoization. The SSGD workers, the experiment tables and the
+// layer Cost() paths hammer the planners with identical (model, op,
+// shape) queries — and choosePlanBlocks alone prices O(candidates^3)
+// tilings per query. Planners are pure functions of the hardware
+// model and the shape, so their results are cached process-wide.
+//
+// Keying: the cache key embeds the *value* of the sw26010.Model (it is
+// a flat comparable struct), not its pointer — two models with equal
+// parameters share entries, and mutating a Model in place for a
+// sensitivity study can never return stale plans.
+//
+// Concurrency: a sync.Map gives lock-free hits for concurrent readers.
+// A racing first miss computes the entry twice; both computations are
+// deterministic and identical, so whichever lands is correct.
+//
+// Mutation safety: cached Plans are stored by value and copied out on
+// every hit, so callers may freely mutate what they receive (e.g.
+// Col2imPlan derives from Im2colPlan's result).
+
+type planOp uint8
+
+const (
+	opGEMMBlocks   planOp = iota // chooseGEMMBlocks -> [3]int
+	opPlanBlocks                 // choosePlanBlocks -> [3]int
+	opGEMMPlan                   // gemmPlanNamed -> Plan
+	opGEMMNoRLC                  // GEMMPlanNoRLC -> Plan
+	opConvImplicit               // ConvImplicitPlan -> Plan (aux = pass)
+	opConvExplicit               // ConvExplicitPlan -> Plan (aux = pass)
+	opIm2col                     // Im2colPlan -> Plan
+)
+
+type planKey struct {
+	model sw26010.Model
+	op    planOp
+	aux   uint8
+	dims  [8]int
+}
+
+var (
+	planCache       sync.Map // planKey -> Plan or [3]int
+	planCacheHits   atomic.Uint64
+	planCacheMisses atomic.Uint64
+)
+
+// PlanCacheCounters reports cache hits and misses since the last
+// reset (test and benchmark introspection).
+func PlanCacheCounters() (hits, misses uint64) {
+	return planCacheHits.Load(), planCacheMisses.Load()
+}
+
+// ResetPlanCache drops every memoized plan and zeroes the counters.
+func ResetPlanCache() {
+	planCache.Clear()
+	planCacheHits.Store(0)
+	planCacheMisses.Store(0)
+}
+
+func gemmKey(hw *sw26010.Model, op planOp, m, k, n int) planKey {
+	return planKey{model: *hw, op: op, dims: [8]int{m, k, n}}
+}
+
+func convKey(hw *sw26010.Model, op planOp, s ConvShape, pass Pass) planKey {
+	return planKey{model: *hw, op: op, aux: uint8(pass),
+		dims: [8]int{s.B, s.Ni, s.Ri, s.Ci, s.No, s.K, s.S, s.P}}
+}
+
+// cachedPlan returns a private copy of the memoized Plan for key,
+// computing and storing it on first use.
+func cachedPlan(key planKey, compute func() Plan) *Plan {
+	if v, ok := planCache.Load(key); ok {
+		planCacheHits.Add(1)
+		p := v.(Plan)
+		return &p
+	}
+	planCacheMisses.Add(1)
+	p := compute()
+	planCache.Store(key, p)
+	out := p
+	return &out
+}
+
+// cachedBlocks memoizes a tiling search returning (bm, bk, bn).
+func cachedBlocks(key planKey, compute func() [3]int) (bm, bk, bn int) {
+	if v, ok := planCache.Load(key); ok {
+		planCacheHits.Add(1)
+		b := v.([3]int)
+		return b[0], b[1], b[2]
+	}
+	planCacheMisses.Add(1)
+	b := compute()
+	planCache.Store(key, b)
+	return b[0], b[1], b[2]
+}

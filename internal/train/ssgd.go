@@ -22,6 +22,8 @@ type Worker struct {
 	Solver *core.Solver
 	Data   *tensor.Tensor
 	Labels *tensor.Tensor
+
+	packBuf []float32 // reused packed-gradient staging across Steps
 }
 
 // DistConfig configures the functional SSGD trainer.
@@ -106,7 +108,8 @@ func (t *DistTrainer) Step() float32 {
 	// Pack, all-reduce, average (Algorithm 1 line 9).
 	packed := make([][]float32, len(t.Workers))
 	for i, w := range t.Workers {
-		packed[i] = w.Net.PackGradients(nil)
+		w.packBuf = w.Net.PackGradients(w.packBuf)
+		packed[i] = w.packBuf
 	}
 	var mu sync.Mutex
 	reduced := make([][]float32, len(t.Workers))

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# bench.sh — benchmark regression harness for the kernel execution
+# engine. Runs the key simulator/planner benchmarks with -benchmem,
+# runs the simulated-time invariance test, and writes the results as
+# JSON (default BENCH_PR1.json) to seed the perf trajectory that
+# future PRs are judged against.
+#
+# Usage: scripts/bench.sh [output.json] [benchtime]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR1.json}"
+BENCHTIME="${2:-1s}"
+PATTERN='^(BenchmarkSimGEMM64|BenchmarkSimGEMM128|BenchmarkSimGEMMRagged|BenchmarkSimConvExplicit|BenchmarkConvPlanSelection|BenchmarkGEMMPlanWarm|BenchmarkGEMMPlanCold|BenchmarkTable2)$'
+
+echo "== running invariance check (simulated times must match golden) =="
+if go test ./internal/swdnn/ -run 'TestEngineInvariance|TestEngineDeterminism' -count=1 >/dev/null 2>&1; then
+    INVARIANCE=pass
+else
+    INVARIANCE=fail
+fi
+echo "invariance: $INVARIANCE"
+
+echo "== running benchmarks (benchtime $BENCHTIME) =="
+RAW="$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count 1 .)"
+echo "$RAW"
+
+echo "$RAW" | awk -v invariance="$INVARIANCE" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns[name] = $3
+    bytes[name] = ""
+    allocs[name] = ""
+    for (i = 4; i <= NF; i++) {
+        if ($(i) == "B/op")      bytes[name]  = $(i-1)
+        if ($(i) == "allocs/op") allocs[name] = $(i-1)
+    }
+    order[n++] = name
+}
+END {
+    printf "{\n"
+    printf "  \"pr\": 1,\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"invariance\": \"%s\",\n", invariance
+    printf "  \"benchmarks\": {\n"
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        printf "    \"%s\": {\"ns_op\": %s", name, ns[name]
+        if (bytes[name] != "")  printf ", \"b_op\": %s", bytes[name]
+        if (allocs[name] != "") printf ", \"allocs_op\": %s", allocs[name]
+        printf "}%s\n", (i < n-1 ? "," : "")
+    }
+    printf "  },\n"
+    printf "  \"seed_reference\": {\n"
+    printf "    \"comment\": \"pre-overhaul engine, measured at the PR-1 baseline commit\",\n"
+    printf "    \"BenchmarkSimGEMM64\": {\"ns_op\": 1150537, \"b_op\": 2550551, \"allocs_op\": 2504},\n"
+    printf "    \"BenchmarkSimGEMM128\": {\"ns_op\": 1329059, \"b_op\": 2700552, \"allocs_op\": 2565},\n"
+    printf "    \"BenchmarkConvPlanSelection\": {\"ns_op\": 491, \"b_op\": 352, \"allocs_op\": 7}\n"
+    printf "  }\n"
+    printf "}\n"
+}' > "$OUT"
+
+echo "== wrote $OUT =="
