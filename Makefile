@@ -23,7 +23,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sw26010/ ./internal/swdnn/ ./internal/train/
+	$(GO) test -race ./internal/sw26010/ ./internal/swnode/ ./internal/swdnn/ ./internal/train/
 
 bench:
 	scripts/bench.sh

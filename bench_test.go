@@ -14,9 +14,14 @@ import (
 	"io"
 	"testing"
 
+	"swcaffe/internal/allreduce"
+	"swcaffe/internal/core"
+	"swcaffe/internal/dataset"
 	"swcaffe/internal/experiments"
 	"swcaffe/internal/sw26010"
 	"swcaffe/internal/swdnn"
+	"swcaffe/internal/tensor"
+	"swcaffe/internal/train"
 )
 
 func BenchmarkTable1(b *testing.B) {
@@ -209,5 +214,138 @@ func BenchmarkGEMMPlanCold(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		swdnn.ResetPlanCache()
 		swdnn.GEMMPlan(hw, 512, 512, 3136)
+	}
+}
+
+// Solver / all-reduce hot-path micro-benchmarks (allocation audit
+// beyond the kernels): the momentum-SGD update loop and the gradient
+// pack/scale paths must stay allocation-free at steady state.
+
+// benchNet builds a small multi-layer net with gradients filled, for
+// the solver and trainer benchmarks.
+func benchNet(batch int) (*core.Net, map[string]*tensor.Tensor) {
+	net := core.NewNet("bench", "data", "label")
+	net.AddLayers(
+		core.NewConv(core.ConvConfig{Name: "conv1", Bottom: "data", Top: "conv1",
+			NumOutput: 8, Kernel: 3, Stride: 1, Pad: 1, BiasTerm: true}),
+		core.NewReLU("relu1", "conv1", "conv1", 0),
+		core.NewInnerProduct(core.InnerProductConfig{Name: "fc1", Bottom: "conv1", Top: "fc1",
+			NumOutput: 64, BiasTerm: true}),
+		core.NewReLU("relu2", "fc1", "fc1", 0),
+		core.NewInnerProduct(core.InnerProductConfig{Name: "fc2", Bottom: "fc1", Top: "fc2",
+			NumOutput: 8, BiasTerm: true}),
+		core.NewSoftmaxLoss("loss", "fc2", "label", "loss"),
+	)
+	inputs := map[string]*tensor.Tensor{
+		"data":  tensor.New(batch, 1, 8, 8),
+		"label": tensor.New(batch, 1, 1, 1),
+	}
+	if err := net.Setup(inputs); err != nil {
+		panic(err)
+	}
+	return net, inputs
+}
+
+// BenchmarkSolverUpdate measures one momentum-SGD parameter update
+// (history reuse makes the steady state allocation-free).
+func BenchmarkSolverUpdate(b *testing.B) {
+	net, _ := benchNet(8)
+	solver := core.NewSolver(net, core.SolverConfig{BaseLR: 0.01, Momentum: 0.9, WeightDecay: 5e-4})
+	for _, p := range net.LearnableParams() {
+		for i := range p.Diff.Data {
+			p.Diff.Data[i] = float32(i%7) * 1e-3
+		}
+	}
+	solver.ApplyUpdate() // allocate the momentum history once
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solver.ApplyUpdate()
+	}
+}
+
+// BenchmarkAllreducePack measures the packed-gradient staging round
+// trip of Sec. V-A (concatenate all layer gradients, scatter back).
+func BenchmarkAllreducePack(b *testing.B) {
+	net, _ := benchNet(8)
+	var buf []float32
+	buf = net.PackGradients(buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = net.PackGradients(buf)
+		net.UnpackGradients(buf)
+	}
+}
+
+// BenchmarkAllreduceScale measures the 1/N averaging sweep over a
+// packed 1M-element gradient.
+func BenchmarkAllreduceScale(b *testing.B) {
+	v := make([]float32, 1<<20)
+	for i := range v {
+		v[i] = float32(i%13) * 0.25
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(v)) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		allreduce.Scale(v, 4)
+	}
+}
+
+// Distributed-step benchmarks: barrier vs bucketed overlap on a
+// multi-layer net. Besides host cost, each reports the modeled
+// iteration time, which the overlapped pipeline must reduce.
+
+func benchDistTrainer(b *testing.B, overlap bool) {
+	build := func() (*core.Net, map[string]*tensor.Tensor, error) {
+		net, inputs := benchNet(8)
+		return net, inputs, nil
+	}
+	d, err := train.NewDistTrainer(train.DistConfig{
+		Nodes: 4, SubBatch: 8,
+		Solver:  core.SolverConfig{BaseLR: 0.01, Momentum: 0.9},
+		Overlap: overlap, BucketBytes: 8 << 10,
+	}, build)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := dataset.NewClusters(512, 4, 1, 8, 8, 0.3, 7)
+	d.LoadShards(ds, 0)
+	d.Step() // warm buffers and the modeled timeline
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Step()
+	}
+	b.ReportMetric(d.LastStep.StepTime*1e6, "modeled-us/step")
+	b.ReportMetric(d.LastStep.Exposed*1e6, "exposed-comm-us/step")
+}
+
+func BenchmarkDistStepBarrier(b *testing.B) { benchDistTrainer(b, false) }
+
+func BenchmarkDistStepOverlap(b *testing.B) { benchDistTrainer(b, true) }
+
+// BenchmarkCGTrainerStep measures one Algorithm-1 iteration on the
+// four simulated CoreGroups of a swnode.Node (quarter-batch passes +
+// mesh gradient summation).
+func BenchmarkCGTrainerStep(b *testing.B) {
+	build := func() (*core.Net, map[string]*tensor.Tensor, error) {
+		net, inputs := benchNet(2)
+		return net, inputs, nil
+	}
+	t, err := train.NewCGTrainer(build, core.SolverConfig{BaseLR: 0.01, Momentum: 0.9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer t.Close()
+	ds := dataset.NewClusters(512, 4, 1, 8, 8, 0.3, 8)
+	for i, w := range t.CGs {
+		dataset.Batch(ds, i*2, w.Data, w.Labels)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Step()
 	}
 }

@@ -2,15 +2,22 @@
 // paper's evaluation section. With no arguments it runs everything;
 // pass artifact names to select a subset.
 //
-//	swbench [table1 figure2 table2 figure6 figure7 figure8 figure9
-//	         table3 figure10 figure11 io pack gemm allreduce]
+//	swbench [-plancache file] [table1 figure2 table2 figure6 figure7
+//	         figure8 figure9 table3 figure10 figure11 io pack gemm
+//	         allreduce]
+//
+// -plancache names a versioned on-disk plan cache: it is loaded before
+// the generators run (a warm file makes cold starts skip every
+// O(candidates³) tiling search) and written back atomically afterwards.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	"swcaffe/internal/experiments"
+	"swcaffe/internal/swdnn"
 )
 
 var artifacts = []struct {
@@ -38,11 +45,23 @@ var artifacts = []struct {
 }
 
 func main() {
+	planCache := flag.String("plancache", "", "versioned plan-cache file: load on startup, atomic write-back on exit")
+	flag.Parse()
+
+	if *planCache != "" {
+		n, err := swdnn.LoadPlanCache(*planCache)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swbench: loading plan cache: %v\n", err)
+		} else if n > 0 {
+			fmt.Fprintf(os.Stderr, "swbench: warmed %d plans from %s\n", n, *planCache)
+		}
+	}
+
 	want := map[string]bool{}
-	for _, a := range os.Args[1:] {
+	for _, a := range flag.Args() {
 		want[a] = true
 	}
-	if len(os.Args) > 1 {
+	if len(want) > 0 {
 		known := map[string]bool{}
 		for _, a := range artifacts {
 			known[a.Name] = true
@@ -63,5 +82,14 @@ func main() {
 		if len(want) == 0 || want[a.Name] {
 			a.Run()
 		}
+	}
+
+	if *planCache != "" {
+		n, err := swdnn.SavePlanCache(*planCache)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "swbench: saving plan cache: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "swbench: persisted %d plans to %s\n", n, *planCache)
 	}
 }

@@ -49,6 +49,9 @@ func main() {
 	lr := flag.Float64("lr", 0.05, "base learning rate")
 	classes := flag.Int("classes", 4, "synthetic classes")
 	netFile := flag.String("net", "", "optional netdef file overriding the built-in architecture (inputs must be 'data' (Bx1x8x8) and 'label')")
+	cg4 := flag.Bool("cg4", false, "single-node Algorithm-1 trainer: quarter-batch passes on the 4 simulated CoreGroups of one swnode.Node (batch must divide by 4)")
+	overlap := flag.Bool("overlap", false, "multi-node: bucketed gradient flush overlapping the all-reduce with backward (vs the pack/reduce/unpack barrier)")
+	bucketKB := flag.Int("bucket-kb", 0, "overlap bucket size in KB (0 = default)")
 	flag.Parse()
 
 	ds := dataset.NewClusters(4096, *classes, 1, 8, 8, 0.35, 42)
@@ -74,6 +77,49 @@ func main() {
 		}
 	}
 
+	if *cg4 {
+		if *nodes != 4 || *overlap || *bucketKB != 0 {
+			// -nodes defaults to 4, which -cg4 repurposes as the CG count.
+			fmt.Fprintln(os.Stderr, "swtrain: -cg4 is single-node; it conflicts with -nodes/-overlap/-bucket-kb")
+			os.Exit(1)
+		}
+		// With -net the netdef declares its own input batch, which
+		// becomes the per-CG quarter batch; the built-in architecture
+		// splits -batch four ways.
+		qbuild := build
+		if *netFile == "" {
+			if *batch%4 != 0 {
+				fmt.Fprintln(os.Stderr, "swtrain: -cg4 needs -batch divisible by 4")
+				os.Exit(1)
+			}
+			q := *batch / 4
+			qbuild = func() (*core.Net, map[string]*tensor.Tensor, error) { return buildNet(q, *classes) }
+		}
+		trainer, err := train.NewCGTrainer(qbuild, solverCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer trainer.Close()
+		quarter := trainer.CGs[0].Data.N
+		for it := 0; it < *iters; it++ {
+			for i, w := range trainer.CGs {
+				dataset.Batch(ds, (it*4+i)*quarter, w.Data, w.Labels)
+			}
+			loss := trainer.Step()
+			if it%20 == 0 || it == *iters-1 {
+				fmt.Printf("iter %4d  loss %.4f  (modeled node time so far %.4fs)\n", it, loss, trainer.SimTime)
+			}
+		}
+		w := trainer.CGs[0]
+		st := trainer.Node().Stats()
+		fmt.Printf("final accuracy on 512 fresh examples: %.1f%%\n",
+			evalAccuracy(w.Net, map[string]*tensor.Tensor{"data": w.Data, "label": w.Labels}, ds, quarter)*100)
+		fmt.Printf("4 simulated CGs: modeled step time total %.4fs, %.0f MFlops summed on the meshes\n",
+			trainer.SimTime, st.Flops/1e6)
+		return
+	}
+
 	if *nodes == 1 {
 		net, inputs, err := build()
 		if err != nil {
@@ -95,6 +141,7 @@ func main() {
 
 	trainer, err := train.NewDistTrainer(train.DistConfig{
 		Nodes: *nodes, SubBatch: *batch, Solver: solverCfg,
+		Overlap: *overlap, BucketBytes: *bucketKB << 10,
 	}, build)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -114,8 +161,12 @@ func main() {
 	w := trainer.Workers[0]
 	fmt.Printf("final accuracy on 512 fresh examples: %.1f%%\n",
 		evalAccuracy(w.Net, map[string]*tensor.Tensor{"data": w.Data, "label": w.Labels}, ds, *batch)*100)
-	fmt.Printf("replicas consistent across %d nodes; total simulated all-reduce time %.4fs\n",
-		*nodes, trainer.CommTime)
+	mode := "barrier"
+	if *overlap {
+		mode = fmt.Sprintf("overlap (%d buckets)", trainer.Buckets())
+	}
+	fmt.Printf("replicas consistent across %d nodes [%s]; simulated all-reduce %.4fs, exposed %.4fs, last modeled step %.6fs\n",
+		*nodes, mode, trainer.CommTime, trainer.ExposedCommTime, trainer.LastStep.StepTime)
 }
 
 func evalAccuracy(net *core.Net, inputs map[string]*tensor.Tensor, ds dataset.Dataset, batch int) float64 {

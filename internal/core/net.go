@@ -25,6 +25,12 @@ type Net struct {
 	// needsDiff marks blobs on some gradient path to a parameter.
 	needsDiff map[string]bool
 	lossBlob  string
+
+	// Param lookups are on the solver-update and gradient-pack hot
+	// paths; the layer graph is static after construction, so the
+	// flattened slices are built once (invalidated by AddLayer).
+	paramsCache    []*Param
+	learnableCache []*Param
 }
 
 // NewNet creates an empty net with the given externally-fed input
@@ -49,6 +55,7 @@ func (n *Net) Layers() []Layer { return n.layers }
 // AddLayer appends a layer. Layers must arrive in topological order.
 func (n *Net) AddLayer(l Layer) *Net {
 	n.layers = append(n.layers, l)
+	n.paramsCache, n.learnableCache = nil, nil
 	return n
 }
 
@@ -117,6 +124,10 @@ func (n *Net) Setup(inputs map[string]*tensor.Tensor) error {
 			n.lossBlob = l.Tops()[0]
 		}
 	}
+	// Build the param caches while construction is still
+	// single-threaded; afterwards concurrent readers see a fixed slice.
+	n.Params()
+	n.LearnableParams()
 	return nil
 }
 
@@ -161,26 +172,33 @@ func (n *Net) BlobNames() []string {
 	return out
 }
 
-// Params returns every learnable parameter of every layer, in layer
-// order.
+// Params returns every parameter of every layer, in layer order. The
+// slice is cached (callers must not mutate it).
 func (n *Net) Params() []*Param {
-	var out []*Param
-	for _, l := range n.layers {
-		out = append(out, l.Params()...)
+	if n.paramsCache == nil {
+		out := []*Param{}
+		for _, l := range n.layers {
+			out = append(out, l.Params()...)
+		}
+		n.paramsCache = out
 	}
-	return out
+	return n.paramsCache
 }
 
 // LearnableParams returns parameters with LRMult > 0 (excludes
-// batch-norm running statistics).
+// batch-norm running statistics). The slice is cached (callers must
+// not mutate it).
 func (n *Net) LearnableParams() []*Param {
-	var out []*Param
-	for _, p := range n.Params() {
-		if p.LRMult > 0 {
-			out = append(out, p)
+	if n.learnableCache == nil {
+		out := []*Param{}
+		for _, p := range n.Params() {
+			if p.LRMult > 0 {
+				out = append(out, p)
+			}
 		}
+		n.learnableCache = out
 	}
-	return out
+	return n.learnableCache
 }
 
 // ParamBytes returns the total byte size of learnable parameters —
@@ -211,6 +229,16 @@ func (n *Net) Forward(phase Phase) float32 {
 // Backward runs one backward pass. Blob gradients are zeroed first;
 // the loss blob's gradient is seeded with 1.
 func (n *Net) Backward(phase Phase) {
+	n.BackwardEach(phase, nil)
+}
+
+// BackwardEach runs the backward pass, invoking onLayer (when non-nil)
+// after each layer's backward completes, with the layer's index in
+// execution (forward) order. Layers run last-to-first, so onLayer sees
+// strictly decreasing indices — the hook distributed trainers use to
+// flush gradient buckets while the remaining backward continues
+// (paper Sec. V-A's communication/computation overlap).
+func (n *Net) BackwardEach(phase Phase, onLayer func(li int)) {
 	for _, d := range n.diffs {
 		d.Zero()
 	}
@@ -226,6 +254,9 @@ func (n *Net) Backward(phase Phase) {
 		topDiffs := n.gather(l.Tops(), n.diffs)
 		bottomDiffs := n.gather(l.Bottoms(), n.diffs)
 		l.Backward(bottoms, tops, topDiffs, bottomDiffs, phase)
+		if onLayer != nil {
+			onLayer(i)
+		}
 	}
 }
 

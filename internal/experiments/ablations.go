@@ -131,25 +131,35 @@ type BatchRow struct {
 // share at scale, which is what lets TaihuLight "benefit from new
 // training algorithm with larger batch-size" such as LARS.
 func BatchSweep(w io.Writer) []BatchRow {
-	var rows []BatchRow
+	type cell struct {
+		Model    string
+		SubBatch int
+	}
+	var cells []cell
+	for _, model := range []string{"alexnet-bn", "resnet50"} {
+		for _, b := range []int{16, 32, 64, 128, 256} {
+			cells = append(cells, cell{model, b})
+		}
+	}
+	rows := make([]BatchRow, len(cells))
+	parallelFor(len(cells), func(i int) {
+		c := cells[i]
+		one, err := train.Iteration(train.ScalingConfig{Model: c.Model, SubBatch: c.SubBatch, Nodes: 1})
+		if err != nil {
+			panic(err)
+		}
+		big, err := train.Iteration(train.ScalingConfig{Model: c.Model, SubBatch: c.SubBatch, Nodes: 1024})
+		if err != nil {
+			panic(err)
+		}
+		rows[i] = BatchRow{Model: c.Model, SubBatch: c.SubBatch,
+			ImgPerSec: float64(c.SubBatch) / one.Total(), CommFrac: big.CommFraction()}
+	})
 	section(w, "Sweep: per-node batch vs throughput and 1024-node comm share")
 	tw := newTab(w)
 	fmt.Fprintln(tw, "model\tsub-batch\timg/s (1 node)\tcomm %% (1024 nodes)")
-	for _, model := range []string{"alexnet-bn", "resnet50"} {
-		for _, b := range []int{16, 32, 64, 128, 256} {
-			one, err := train.Iteration(train.ScalingConfig{Model: model, SubBatch: b, Nodes: 1})
-			if err != nil {
-				panic(err)
-			}
-			big, err := train.Iteration(train.ScalingConfig{Model: model, SubBatch: b, Nodes: 1024})
-			if err != nil {
-				panic(err)
-			}
-			r := BatchRow{Model: model, SubBatch: b,
-				ImgPerSec: float64(b) / one.Total(), CommFrac: big.CommFraction()}
-			rows = append(rows, r)
-			fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.1f\n", model, b, r.ImgPerSec, r.CommFrac*100)
-		}
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.1f\n", r.Model, r.SubBatch, r.ImgPerSec, r.CommFrac*100)
 	}
 	tw.Flush()
 	return rows

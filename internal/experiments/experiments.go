@@ -9,11 +9,47 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sync"
 	"text/tabwriter"
 )
 
 func newTab(w io.Writer) *tabwriter.Writer {
 	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// parallelFor fans fn(0..n-1) out across goroutines and joins. The
+// generators use it to compute independent rows concurrently (each row
+// is a pure planner/cost-model evaluation backed by the memoized plan
+// cache) and then render in index order, so output stays byte-
+// identical to the serial loops. A panic on any index is re-raised on
+// the caller after every goroutine has finished.
+func parallelFor(n int, fn func(i int)) {
+	if n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	panics := make(chan any, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics <- r
+				}
+			}()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case r := <-panics:
+		panic(r)
+	default:
+	}
 }
 
 func section(w io.Writer, title string) {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"swcaffe/internal/sw26010"
+	"swcaffe/internal/swdnn"
 )
 
 func TestTable1MatchesPaper(t *testing.T) {
@@ -433,6 +434,53 @@ func TestBatchSweepClaims(t *testing.T) {
 			if rs[i].CommFrac >= rs[i-1].CommFrac {
 				t.Errorf("%s: comm share should shrink with batch at %d", model, rs[i].SubBatch)
 			}
+		}
+	}
+}
+
+// TestParallelGeneratorsDeterministic: the fanned-out generators must
+// render byte-identical output on every run (rows are computed
+// concurrently but printed in index order), and the parallel Table II
+// rows must equal a serial re-evaluation of the same plans.
+func TestParallelGeneratorsDeterministic(t *testing.T) {
+	render := map[string]func(io.Writer){
+		"table2":   func(w io.Writer) { Table2(w) },
+		"table3":   func(w io.Writer) { Table3(w) },
+		"figure8":  func(w io.Writer) { Figure8(w) },
+		"figure10": func(w io.Writer) { Figure10(w) },
+		"figure11": func(w io.Writer) { Figure11(w) },
+		"gemm":     func(w io.Writer) { GEMMAblation(w) },
+		"batch":    func(w io.Writer) { BatchSweep(w) },
+	}
+	for name, gen := range render {
+		var first strings.Builder
+		gen(&first)
+		if first.Len() == 0 {
+			t.Fatalf("%s rendered nothing", name)
+		}
+		for trial := 0; trial < 3; trial++ {
+			var again strings.Builder
+			gen(&again)
+			if first.String() != again.String() {
+				t.Fatalf("%s: output not byte-identical across runs", name)
+			}
+		}
+	}
+
+	// Cross-check the concurrent Table II rows against serial queries.
+	hw := sw26010.Default()
+	rows := Table2(io.Discard)
+	layers := VGG16ConvLayers(128)
+	if len(rows) != len(layers) {
+		t.Fatalf("Table2 returned %d rows for %d layers", len(rows), len(layers))
+	}
+	for i, l := range layers {
+		if rows[i].Name != l.Name {
+			t.Fatalf("row %d out of order: %s != %s", i, rows[i].Name, l.Name)
+		}
+		imp, exp, best := swdnn.ConvPlans(hw, l.Shape, swdnn.Forward)
+		if *rows[i].Fwd.Implicit != *imp || *rows[i].Fwd.Explicit != *exp || rows[i].Fwd.Best.Name != best.Name {
+			t.Fatalf("layer %s: parallel rows diverge from serial plans", l.Name)
 		}
 	}
 }

@@ -23,17 +23,20 @@ type GEMMRow struct {
 // A and B tiles off the memory bus).
 func GEMMAblation(w io.Writer) []GEMMRow {
 	hw := sw26010.Default()
-	var rows []GEMMRow
+	dims := []int{64, 128, 256, 512, 1024, 2048}
+	rows := make([]GEMMRow, len(dims))
+	parallelFor(len(dims), func(i int) {
+		n := dims[i]
+		p := swdnn.GEMMPlan(hw, n, n, n)
+		noRLC := swdnn.GEMMPlanNoRLC(hw, n, n, n)
+		rows[i] = GEMMRow{Dim: n, PlanTime: p.Time, PlanGflops: p.Gflops(), NoRLCTime: noRLC.Time, Block: p.Block}
+	})
 	section(w, "Ablation: GEMM with vs without register-level communication")
 	tw := newTab(w)
 	fmt.Fprintln(tw, "n (square)\twith RLC\tGflops\twithout RLC\tslowdown\tblocks")
-	for _, n := range []int{64, 128, 256, 512, 1024, 2048} {
-		p := swdnn.GEMMPlan(hw, n, n, n)
-		noRLC := swdnn.GEMMPlanNoRLC(hw, n, n, n)
-		r := GEMMRow{Dim: n, PlanTime: p.Time, PlanGflops: p.Gflops(), NoRLCTime: noRLC.Time, Block: p.Block}
-		rows = append(rows, r)
+	for _, r := range rows {
 		fmt.Fprintf(tw, "%d\t%s\t%.1f\t%s\t%.2fx\t%v\n",
-			n, fmtTime(p.Time), p.Gflops(), fmtTime(noRLC.Time), noRLC.Time/p.Time, p.Block)
+			r.Dim, fmtTime(r.PlanTime), r.PlanGflops, fmtTime(r.NoRLCTime), r.NoRLCTime/r.PlanTime, r.Block)
 	}
 	tw.Flush()
 	return rows

@@ -35,14 +35,20 @@ func perLayerComparison(w io.Writer, title, model string, batch int) []LayerTimi
 	gpu := perf.NewK40m()
 	sw := perf.NewSWCG()
 
+	// Per-layer costs are independent planner queries: fan them out,
+	// then render in layer order.
+	out := make([]LayerTiming, len(spec.Layers))
+	parallelFor(len(spec.Layers), func(i int) {
+		l := &spec.Layers[i]
+		out[i] = LayerTiming{Layer: l.Name, Kind: l.Kind.String(), GPU: l.Cost(gpu), SW: l.Cost(sw)}
+	})
+
 	section(w, title)
 	tw := newTab(w)
 	fmt.Fprintln(tw, "layer\tGPU fwd\tSW fwd\tGPU bwd\tSW bwd")
-	var out []LayerTiming
 	for i := range spec.Layers {
 		l := &spec.Layers[i]
-		lt := LayerTiming{Layer: l.Name, Kind: l.Kind.String(), GPU: l.Cost(gpu), SW: l.Cost(sw)}
-		out = append(out, lt)
+		lt := out[i]
 		if l.Kind == models.KSoftmaxLoss || l.Kind == models.KAccuracy {
 			continue
 		}
@@ -102,11 +108,10 @@ func Table3Workloads() []struct {
 // gradient averaging), reproducing paper Table III.
 func Table3(w io.Writer) []Table3Row {
 	cpu, gpu := perf.NewXeonCPU(), perf.NewK40m()
-	var rows []Table3Row
-	section(w, "Table III: training throughput (img/s) per processor")
-	tw := newTab(w)
-	fmt.Fprintln(tw, "network\tbatch\tCPU\tNV K40m\tSW\tSW/NV\tSW/CPU")
-	for _, wl := range Table3Workloads() {
+	workloads := Table3Workloads()
+	rows := make([]Table3Row, len(workloads))
+	parallelFor(len(workloads), func(i int) {
+		wl := workloads[i]
 		build, _ := models.ByName(wl.Model)
 		full := build(wl.Batch)
 		tCPU := full.IterationTime(cpu)
@@ -115,13 +120,17 @@ func Table3(w io.Writer) []Table3Row {
 		if err != nil {
 			panic(err)
 		}
-		r := Table3Row{
+		rows[i] = Table3Row{
 			Network: wl.Model, Batch: wl.Batch,
 			CPU: float64(wl.Batch) / tCPU,
 			GPU: float64(wl.Batch) / tGPU,
 			SW:  float64(wl.Batch) / bd.Total(),
 		}
-		rows = append(rows, r)
+	})
+	section(w, "Table III: training throughput (img/s) per processor")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "network\tbatch\tCPU\tNV K40m\tSW\tSW/NV\tSW/CPU")
+	for _, r := range rows {
 		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
 			r.Network, r.Batch, r.CPU, r.GPU, r.SW, r.SW/r.GPU, r.SW/r.CPU)
 	}

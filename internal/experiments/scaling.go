@@ -86,10 +86,27 @@ func scalingWorkloads() []struct {
 	}
 }
 
+// sweepWorkloads evaluates the five Fig. 10/11 series, fanning the
+// independent node sweeps out across goroutines and returning them in
+// workload order.
+func sweepWorkloads() []ScalingSeries {
+	workloads := scalingWorkloads()
+	out := make([]ScalingSeries, len(workloads))
+	parallelFor(len(workloads), func(i int) {
+		wl := workloads[i]
+		pts, err := train.Sweep(train.ScalingConfig{Model: wl.Model, SubBatch: wl.Batch}, scalingNodeCounts)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = ScalingSeries{Model: wl.Model, SubBatch: wl.Batch, Points: pts}
+	})
+	return out
+}
+
 // Figure10 prints the speedup curves of paper Fig. 10 (strong-per-node
 // scaling of AlexNet and ResNet-50 to 1024 nodes).
 func Figure10(w io.Writer) []ScalingSeries {
-	var out []ScalingSeries
+	out := sweepWorkloads()
 	section(w, "Figure 10: scalability of swCaffe (speedup over 1 node)")
 	tw := newTab(w)
 	fmt.Fprint(tw, "nodes")
@@ -97,19 +114,10 @@ func Figure10(w io.Writer) []ScalingSeries {
 		fmt.Fprintf(tw, "\t%s B=%d", shortName(wl.Model), wl.Batch)
 	}
 	fmt.Fprintln(tw, "\tideal")
-	series := make([][]train.ScalePoint, 0)
-	for _, wl := range scalingWorkloads() {
-		pts, err := train.Sweep(train.ScalingConfig{Model: wl.Model, SubBatch: wl.Batch}, scalingNodeCounts)
-		if err != nil {
-			panic(err)
-		}
-		series = append(series, pts)
-		out = append(out, ScalingSeries{Model: wl.Model, SubBatch: wl.Batch, Points: pts})
-	}
 	for i, p := range scalingNodeCounts {
 		fmt.Fprintf(tw, "%d", p)
-		for _, s := range series {
-			fmt.Fprintf(tw, "\t%.1f", s[i].Speedup)
+		for _, s := range out {
+			fmt.Fprintf(tw, "\t%.1f", s.Points[i].Speedup)
 		}
 		fmt.Fprintf(tw, "\t%d\n", p)
 	}
@@ -119,7 +127,7 @@ func Figure10(w io.Writer) []ScalingSeries {
 
 // Figure11 prints the communication-share curves of paper Fig. 11.
 func Figure11(w io.Writer) []ScalingSeries {
-	var out []ScalingSeries
+	out := sweepWorkloads()
 	section(w, "Figure 11: communication time share (%) per iteration")
 	tw := newTab(w)
 	fmt.Fprint(tw, "nodes")
@@ -127,19 +135,10 @@ func Figure11(w io.Writer) []ScalingSeries {
 		fmt.Fprintf(tw, "\t%s B=%d", shortName(wl.Model), wl.Batch)
 	}
 	fmt.Fprintln(tw)
-	series := make([][]train.ScalePoint, 0)
-	for _, wl := range scalingWorkloads() {
-		pts, err := train.Sweep(train.ScalingConfig{Model: wl.Model, SubBatch: wl.Batch}, scalingNodeCounts)
-		if err != nil {
-			panic(err)
-		}
-		series = append(series, pts)
-		out = append(out, ScalingSeries{Model: wl.Model, SubBatch: wl.Batch, Points: pts})
-	}
 	for i, p := range scalingNodeCounts {
 		fmt.Fprintf(tw, "%d", p)
-		for _, s := range series {
-			fmt.Fprintf(tw, "\t%.2f", s[i].CommFraction*100)
+		for _, s := range out {
+			fmt.Fprintf(tw, "\t%.2f", s.Points[i].CommFraction*100)
 		}
 		fmt.Fprintln(tw)
 	}

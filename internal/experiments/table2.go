@@ -49,21 +49,27 @@ func VGG16ConvLayers(batch int) []struct {
 
 // Table2 evaluates implicit vs explicit GEMM plans for every VGG-16
 // convolution layer at batch 128 on one core group (paper Table II)
-// and prints the comparison.
+// and prints the comparison. The per-layer plan searches fan out
+// across goroutines (the layers are independent and the plan cache is
+// concurrency-safe); rows render in layer order afterwards.
 func Table2(w io.Writer) []Table2Row {
 	hw := sw26010.Default()
 	layers := VGG16ConvLayers(128)
-	rows := make([]Table2Row, 0, len(layers))
-
-	section(w, "Table II: explicit vs implicit GEMM conv plans, VGG-16, batch=128, one CG")
-	tw := newTab(w)
-	fmt.Fprintln(tw, "conv\tNi\tNo\tCi/Ri\tfwd impl\tfwd expl\tGflops\twdiff impl\twdiff expl\tindiff impl\tindiff expl")
-	for _, l := range layers {
-		var r Table2Row
+	rows := make([]Table2Row, len(layers))
+	parallelFor(len(layers), func(i int) {
+		l := layers[i]
+		r := &rows[i]
 		r.Name, r.Shape = l.Name, l.Shape
 		r.Fwd.Implicit, r.Fwd.Explicit, r.Fwd.Best = swdnn.ConvPlans(hw, l.Shape, swdnn.Forward)
 		r.BwdW.Implicit, r.BwdW.Explicit, r.BwdW.Best = swdnn.ConvPlans(hw, l.Shape, swdnn.BackwardWeight)
 		r.BwdI.Implicit, r.BwdI.Explicit, r.BwdI.Best = swdnn.ConvPlans(hw, l.Shape, swdnn.BackwardInput)
+	})
+
+	section(w, "Table II: explicit vs implicit GEMM conv plans, VGG-16, batch=128, one CG")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "conv\tNi\tNo\tCi/Ri\tfwd impl\tfwd expl\tGflops\twdiff impl\twdiff expl\tindiff impl\tindiff expl")
+	for i := range rows {
+		r := &rows[i]
 		t := func(p *swdnn.Plan) string {
 			if p == nil || !p.Feasible {
 				return "-"
@@ -72,14 +78,13 @@ func Table2(w io.Writer) []Table2Row {
 		}
 		// in-diff is not computed for the first layer (no gradient to data)
 		indI, indE := t(r.BwdI.Implicit), t(r.BwdI.Explicit)
-		if l.Name == "1_1" {
+		if r.Name == "1_1" {
 			indI, indE = "NA", "NA"
 		}
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%s\t%s\t%.2f\t%s\t%s\t%s\t%s\n",
-			l.Name, l.Shape.Ni, l.Shape.No, l.Shape.Ci,
+			r.Name, r.Shape.Ni, r.Shape.No, r.Shape.Ci,
 			t(r.Fwd.Implicit), t(r.Fwd.Explicit), r.Fwd.Best.Gflops(),
 			t(r.BwdW.Implicit), t(r.BwdW.Explicit), indI, indE)
-		rows = append(rows, r)
 	}
 	tw.Flush()
 	fmt.Fprintln(w, "(dash = plan infeasible for this shape; Gflops = flops / best forward time)")

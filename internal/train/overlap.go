@@ -1,0 +1,227 @@
+package train
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"swcaffe/internal/allreduce"
+	"swcaffe/internal/core"
+	"swcaffe/internal/perf"
+	"swcaffe/internal/simnet"
+)
+
+// Bucketed gradient overlap (paper Sec. V-A, ROADMAP "allreduce
+// pipelining"). Backward propagation produces layer gradients
+// last-to-first; instead of packing everything and barriering on one
+// all-reduce, the overlapped trainer groups parameters into buckets in
+// backward order and flushes each bucket's all-reduce the moment every
+// worker has produced it, while the remaining backward layers keep
+// computing. Real wall-clock overlap happens on the host (the
+// collective runs while worker goroutines are still in backward), and
+// the modeled timeline composes per-bucket communication behind the
+// per-layer backward costs priced on cfg.Device.
+//
+// Bit-exactness: each element of the packed gradient is reduced by the
+// same collective with the same cross-rank association order whether
+// it travels in one big vector or in its bucket, for element-uniform
+// algorithms (recursive halving/doubling, binomial tree). The
+// overlapped trainer therefore produces parameters bit-identical to
+// the barrier trainer — asserted by the test suite.
+
+// gradBucket is one flush unit: a run of learnable-parameter indices
+// (in backward production order) plus the forward index of the layer
+// whose backward completes the bucket.
+type gradBucket struct {
+	params     []int // indices into Net.LearnableParams(), flush order
+	elems      int
+	readyLayer int
+}
+
+// buildBuckets partitions the learnable parameters into buckets of at
+// most bucketBytes, walking layers in backward order.
+func buildBuckets(net *core.Net, bucketBytes int) []gradBucket {
+	type pinfo struct{ idx, layer, elems int }
+	var infos []pinfo
+	idx := 0
+	for li, l := range net.Layers() {
+		for _, p := range l.Params() {
+			if p.LRMult > 0 {
+				infos = append(infos, pinfo{idx: idx, layer: li, elems: p.Diff.Len()})
+				idx++
+			}
+		}
+	}
+	maxElems := bucketBytes / 4
+	if maxElems < 1 {
+		maxElems = 1
+	}
+	var out []gradBucket
+	var cur gradBucket
+	for i := len(infos) - 1; i >= 0; i-- {
+		pi := infos[i]
+		cur.params = append(cur.params, pi.idx)
+		cur.elems += pi.elems
+		cur.readyLayer = pi.layer
+		if cur.elems >= maxElems {
+			out = append(out, cur)
+			cur = gradBucket{}
+		}
+	}
+	if len(cur.params) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// ensureTimeline lazily prices the per-layer modeled compute timeline
+// shared by both trainer variants.
+func (t *DistTrainer) ensureTimeline() {
+	if t.layerDone != nil {
+		return
+	}
+	if t.cfg.Device == nil {
+		t.cfg.Device = perf.NewSWCG()
+	}
+	net := t.Workers[0].Net
+	perLayer, total := net.Cost(t.cfg.Device)
+	t.computeEnd = total.Forward + total.Backward
+	t.layerDone = make([]float64, len(perLayer))
+	cum := total.Forward
+	for i := len(perLayer) - 1; i >= 0; i-- {
+		cum += perLayer[i].Backward
+		t.layerDone[i] = cum
+	}
+}
+
+// ensureOverlapState builds the buckets and per-worker staging once.
+func (t *DistTrainer) ensureOverlapState() {
+	t.ensureTimeline()
+	if t.buckets != nil {
+		return
+	}
+	if t.cfg.BucketBytes <= 0 {
+		t.cfg.BucketBytes = DefaultBucketBytes
+	}
+	t.buckets = buildBuckets(t.Workers[0].Net, t.cfg.BucketBytes)
+	for _, w := range t.Workers {
+		w.bucketBufs = make([][]float32, len(t.buckets))
+		for b, bk := range t.buckets {
+			w.bucketBufs[b] = make([]float32, bk.elems)
+		}
+	}
+}
+
+// stepOverlap is the bucketed-pipeline Step.
+func (t *DistTrainer) stepOverlap() float32 {
+	t.ensureOverlapState()
+	nw := len(t.Workers)
+	nb := len(t.buckets)
+	losses := make([]float32, nw)
+	ready := make([]chan struct{}, nb)
+	for b := range ready {
+		ready[b] = make(chan struct{})
+	}
+	counts := make([]int32, nb)
+
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for i, w := range t.Workers {
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			w.Net.ZeroParamDiffs()
+			losses[i] = w.Net.Forward(core.Train)
+			params := w.Net.LearnableParams()
+			next := 0
+			w.Net.BackwardEach(core.Train, func(li int) {
+				for next < nb && t.buckets[next].readyLayer == li {
+					buf := w.bucketBufs[next]
+					off := 0
+					for _, pi := range t.buckets[next].params {
+						d := params[pi].Diff
+						copy(buf[off:], d.Data)
+						off += d.Len()
+					}
+					if atomic.AddInt32(&counts[next], 1) == int32(nw) {
+						close(ready[next])
+					}
+					next++
+				}
+			})
+		}(i, w)
+	}
+
+	// Flush loop: bucket b's collective starts the moment the last
+	// worker produced it, concurrent with the remaining backward.
+	reduced := make([][][]float32, nb) // [bucket][rank]
+	commTimes := make([]float64, nb)
+	for b := 0; b < nb; b++ {
+		<-ready[b]
+		packed := make([][]float32, nw)
+		for i, w := range t.Workers {
+			packed[i] = w.bucketBufs[b]
+		}
+		red := make([][]float32, nw)
+		var mu sync.Mutex
+		res := t.cluster.Run(func(n *simnet.Node) {
+			out := t.cfg.Algorithm(n, packed[n.Rank])
+			n.ChargeReduce(len(out))
+			mu.Lock()
+			red[n.Rank] = out
+			mu.Unlock()
+		})
+		reduced[b] = red
+		commTimes[b] = res.Time
+	}
+	wg.Wait()
+
+	// Average every bucket and update every replica identically.
+	for i, w := range t.Workers {
+		params := w.Net.LearnableParams()
+		for b := 0; b < nb; b++ {
+			vec := reduced[b][i]
+			allreduce.Scale(vec, nw)
+			off := 0
+			for _, pi := range t.buckets[b].params {
+				d := params[pi].Diff
+				copy(d.Data, vec[off:off+d.Len()])
+				off += d.Len()
+			}
+		}
+		w.Solver.ApplyUpdate()
+	}
+	t.iter++
+
+	// Modeled timeline: chain the bucket collectives behind their
+	// ready times; exposed communication is whatever outlives backward.
+	var commSum, commEnd float64
+	for b := 0; b < nb; b++ {
+		start := t.layerDone[t.buckets[b].readyLayer]
+		if commEnd > start {
+			start = commEnd
+		}
+		commEnd = start + commTimes[b]
+		commSum += commTimes[b]
+	}
+	stepTime := t.computeEnd
+	if commEnd > stepTime {
+		stepTime = commEnd
+	}
+	t.LastStep = StepStats{
+		Compute:  t.computeEnd,
+		Comm:     commSum,
+		Exposed:  stepTime - t.computeEnd,
+		StepTime: stepTime,
+	}
+	t.CommTime += commSum
+	t.ExposedCommTime += t.LastStep.Exposed
+
+	var mean float32
+	for _, l := range losses {
+		mean += l
+	}
+	return mean / float32(len(losses))
+}
+
+// Buckets reports the overlapped trainer's bucket count (0 before the
+// first overlapped Step).
+func (t *DistTrainer) Buckets() int { return len(t.buckets) }

@@ -7,7 +7,11 @@ import (
 	"swcaffe/internal/allreduce"
 	"swcaffe/internal/core"
 	"swcaffe/internal/dataset"
+	"swcaffe/internal/perf"
 	"swcaffe/internal/simnet"
+	"swcaffe/internal/sw26010"
+	"swcaffe/internal/swdnn"
+	"swcaffe/internal/swnode"
 	"swcaffe/internal/tensor"
 	"swcaffe/internal/topology"
 )
@@ -23,7 +27,8 @@ type Worker struct {
 	Data   *tensor.Tensor
 	Labels *tensor.Tensor
 
-	packBuf []float32 // reused packed-gradient staging across Steps
+	packBuf    []float32   // reused packed-gradient staging across Steps
+	bucketBufs [][]float32 // per-bucket staging for the overlapped trainer
 }
 
 // DistConfig configures the functional SSGD trainer.
@@ -34,7 +39,28 @@ type DistConfig struct {
 	Network   *topology.Network
 	Mapping   topology.Mapping
 	Algorithm allreduce.Algorithm
+
+	// Overlap selects the bucketed trainer: per-layer gradients are
+	// flushed into fixed-size buckets as backward produces them, and
+	// each bucket's all-reduce starts immediately, overlapping the
+	// remaining backward compute instead of barriering after it
+	// (paper Sec. V-A). Numerics are bit-identical to the barrier
+	// trainer for element-uniform algorithms (the default recursive
+	// halving/doubling and the binomial tree reduce every element with
+	// the same association order regardless of where it sits in the
+	// vector; the ring does not).
+	Overlap bool
+	// BucketBytes caps one gradient bucket (default 4 MB).
+	BucketBytes int
+	// Device prices the per-layer compute of the modeled step timeline
+	// (default one SW26010 core group).
+	Device perf.Device
 }
+
+// DefaultBucketBytes is the overlapped trainer's bucket cap: large
+// enough to amortize the per-collective latency, small enough that
+// several buckets are in flight across a deep net's backward.
+const DefaultBucketBytes = 4 << 20
 
 // DistTrainer drives Algorithm 1 across simulated nodes: every
 // iteration each worker computes gradients on its own shard, the
@@ -47,7 +73,28 @@ type DistTrainer struct {
 
 	// CommTime accumulates simulated all-reduce time.
 	CommTime float64
+	// ExposedCommTime accumulates only the communication that was not
+	// hidden behind backward compute on the modeled timeline (equals
+	// CommTime for the barrier trainer).
+	ExposedCommTime float64
+	// LastStep is the modeled decomposition of the most recent Step.
+	LastStep StepStats
 	iter     int
+
+	// Modeled per-layer timeline (lazily built from cfg.Device).
+	layerDone  []float64 // layerDone[li]: modeled completion of layer li's backward
+	computeEnd float64   // modeled forward + full backward time
+	buckets    []gradBucket
+}
+
+// StepStats is the modeled time decomposition of one Step of the
+// functional trainer: per-layer compute priced on cfg.Device composed
+// with the simulated all-reduce makespans.
+type StepStats struct {
+	Compute  float64 // forward + backward
+	Comm     float64 // summed simulated all-reduce makespans
+	Exposed  float64 // communication not hidden behind backward
+	StepTime float64 // modeled iteration wall time
 }
 
 // NewDistTrainer builds nodes workers from a model factory. The
@@ -88,8 +135,17 @@ func (t *DistTrainer) Iter() int { return t.iter }
 
 // Step runs one synchronous iteration over the shards loaded into each
 // worker's Data/Labels tensors and returns the mean loss across
-// workers.
+// workers. With cfg.Overlap it runs the bucketed pipeline; otherwise
+// the strict pack → reduce → unpack barrier.
 func (t *DistTrainer) Step() float32 {
+	if t.cfg.Overlap {
+		return t.stepOverlap()
+	}
+	return t.stepBarrier()
+}
+
+func (t *DistTrainer) stepBarrier() float32 {
+	t.ensureTimeline()
 	var wg sync.WaitGroup
 	losses := make([]float32, len(t.Workers))
 	// Local forward/backward (the 4-CG compute of Algorithm 1 lines
@@ -129,6 +185,15 @@ func (t *DistTrainer) Step() float32 {
 		w.Solver.ApplyUpdate()
 	}
 	t.iter++
+
+	// Barrier timeline: the whole all-reduce is exposed after backward.
+	t.LastStep = StepStats{
+		Compute:  t.computeEnd,
+		Comm:     res.Time,
+		Exposed:  res.Time,
+		StepTime: t.computeEnd + res.Time,
+	}
+	t.ExposedCommTime += res.Time
 
 	var mean float32
 	for _, l := range losses {
@@ -170,66 +235,107 @@ func (t *DistTrainer) ParamsDiverged() float64 {
 // CGTrainer is the single-node, 4-core-group trainer of Algorithm 1
 // and Fig. 5: four CG "threads" each forward/backward a quarter of the
 // mini-batch; CG0 averages the four gradients; one SGD update applies.
-// The functional stand-in runs one replica per CG over a quarter shard
-// and sums gradients, which equals full-batch SGD when layers are
-// batch-linear (everything except batch-norm statistics — the same
-// approximation the real swCaffe makes).
+//
+// The passes execute on the four simulated sw26010 CoreGroups of one
+// swnode.Node — each quarter-batch forward/backward runs as one kernel
+// launch on a stream pinned to its CG, and the gradient summation runs
+// as swdnn.SumRun mesh kernels on CG0's stream, event-chained behind
+// the producing passes (the simple_sync handshake of Fig. 5). The
+// numerics equal full-batch SGD when layers are batch-linear
+// (everything except batch-norm statistics — the same approximation
+// the real swCaffe makes), and are bit-identical to the host-math
+// trainer this replaced (the test suite pins that).
 type CGTrainer struct {
 	CGs    []*Worker
 	solver *core.Solver
+
+	node    *swnode.Node
+	streams []*swnode.Stream
+
+	// passCost is the modeled forward+backward seconds of one
+	// quarter-batch pass on one CG, charged to the launch's clock.
+	passCost float64
+
+	// SimTime accumulates the modeled per-step makespan of the node
+	// (the compute + intra-node summation time of Algorithm 1 lines
+	// 3-8); lastEnd tracks the node timeline across steps.
+	SimTime float64
+	lastEnd float64
 }
 
 // NewCGTrainer builds the 4-CG trainer from a deterministic factory
 // producing replicas with quarter-batch inputs.
 func NewCGTrainer(build func() (*core.Net, map[string]*tensor.Tensor, error), solverCfg core.SolverConfig) (*CGTrainer, error) {
-	t := &CGTrainer{}
-	for i := 0; i < 4; i++ {
+	t := &CGTrainer{node: swnode.NewNode(nil)}
+	for i := 0; i < sw26010.CoreGroups; i++ {
 		net, inputs, err := build()
 		if err != nil {
 			return nil, err
 		}
 		t.CGs = append(t.CGs, &Worker{Rank: i, Net: net, Data: inputs["data"], Labels: inputs["label"]})
+		t.streams = append(t.streams, t.node.PinnedStream(i))
 	}
 	t.solver = core.NewSolver(t.CGs[0].Net, solverCfg)
+	_, total := t.CGs[0].Net.Cost(perf.NewSWCG())
+	t.passCost = total.Forward + total.Backward
 	return t, nil
 }
 
-// Step runs one iteration: parallel quarter-batch passes, gradient
-// averaging onto CG0, update on CG0, parameter broadcast back.
-func (t *CGTrainer) Step() float32 {
-	var wg sync.WaitGroup
-	losses := make([]float32, 4)
-	wg.Add(4)
-	for i, w := range t.CGs {
-		go func(i int, w *Worker) {
-			defer wg.Done()
-			w.Net.ZeroParamDiffs()
-			losses[i] = w.Net.Forward(core.Train)
-			w.Net.Backward(core.Train)
-		}(i, w)
-	}
-	wg.Wait()
+// Node exposes the underlying simulated node (stats, stream access).
+func (t *CGTrainer) Node() *swnode.Node { return t.node }
 
-	// CG0 averages the gradients (simple_sync handshake of Fig. 5).
+// Close stops the node's CPE worker pools. The trainer must not be
+// used after Close.
+func (t *CGTrainer) Close() { t.node.Close() }
+
+// Step runs one iteration: quarter-batch passes launched concurrently
+// on the 4 simulated CGs, gradient summation onto CG0 as mesh kernels
+// chained behind the passes, update on CG0, parameter broadcast back.
+func (t *CGTrainer) Step() float32 {
+	losses := make([]float32, sw26010.CoreGroups)
+	passes := make([]*swnode.Event, sw26010.CoreGroups)
+	for i, w := range t.CGs {
+		i, w := i, w
+		passes[i] = t.streams[i].Launch(func(cg *sw26010.CoreGroup) float64 {
+			return cg.RunN(1, func(pe *sw26010.CPE) {
+				w.Net.ZeroParamDiffs()
+				losses[i] = w.Net.Forward(core.Train)
+				w.Net.Backward(core.Train)
+				pe.AdvanceClock(t.passCost)
+			})
+		})
+	}
+
+	// CG0 accumulates the three peer gradients on its own mesh: each
+	// summation launch waits for the producing CG's pass via its event
+	// and for CG0's prior work via stream order.
 	base := t.CGs[0].Net.LearnableParams()
-	for cg := 1; cg < 4; cg++ {
-		other := t.CGs[cg].Net.LearnableParams()
-		for i, p := range base {
-			p.Diff.AXPY(1, other[i].Diff)
+	for cgi := 1; cgi < sw26010.CoreGroups; cgi++ {
+		other := t.CGs[cgi].Net.LearnableParams()
+		for pi, p := range base {
+			swdnn.SumAsync(t.streams[0], p.Diff.Data, other[pi].Diff.Data, passes[cgi])
 		}
 	}
+	t.node.Sync()
+	end := t.node.SimTime()
+	t.SimTime += end - t.lastEnd
+	t.lastEnd = end
+
+	// Average, update on CG0's MPE, broadcast parameters back (shared
+	// memory on the real chip).
 	for _, p := range base {
-		p.Diff.Scale(0.25)
+		p.Diff.Scale(1 / float32(len(t.CGs)))
 	}
 	t.solver.ApplyUpdate()
-
-	// Broadcast updated parameters to the other CGs (shared memory on
-	// the real chip).
-	for cg := 1; cg < 4; cg++ {
-		other := t.CGs[cg].Net.LearnableParams()
-		for i, p := range base {
-			other[i].Data.CopyFrom(p.Data)
+	for cgi := 1; cgi < sw26010.CoreGroups; cgi++ {
+		other := t.CGs[cgi].Net.LearnableParams()
+		for pi, p := range base {
+			other[pi].Data.CopyFrom(p.Data)
 		}
 	}
-	return (losses[0] + losses[1] + losses[2] + losses[3]) / 4
+	var mean float32
+	for _, l := range losses {
+		mean += l
+	}
+	return mean / float32(len(losses))
 }

@@ -121,6 +121,206 @@ func TestDistributedNonPowerOfTwoNodes(t *testing.T) {
 	}
 }
 
+// deepFactory builds a deeper conv+fc net whose parameters span
+// several gradient buckets — the overlap test and bench workload.
+func deepFactory(batch, classes int) func() (*core.Net, map[string]*tensor.Tensor, error) {
+	return func() (*core.Net, map[string]*tensor.Tensor, error) {
+		net := core.NewNet("deep", "data", "label")
+		net.AddLayers(
+			core.NewConv(core.ConvConfig{Name: "conv1", Bottom: "data", Top: "conv1",
+				NumOutput: 8, Kernel: 3, Stride: 1, Pad: 1, BiasTerm: true}),
+			core.NewReLU("relu1", "conv1", "conv1", 0),
+			core.NewConv(core.ConvConfig{Name: "conv2", Bottom: "conv1", Top: "conv2",
+				NumOutput: 8, Kernel: 3, Stride: 1, Pad: 1, BiasTerm: true}),
+			core.NewReLU("relu2", "conv2", "conv2", 0),
+			core.NewInnerProduct(core.InnerProductConfig{Name: "fc1", Bottom: "conv2", Top: "fc1",
+				NumOutput: 64, BiasTerm: true}),
+			core.NewReLU("relu3", "fc1", "fc1", 0),
+			core.NewInnerProduct(core.InnerProductConfig{Name: "fc2", Bottom: "fc1", Top: "fc2",
+				NumOutput: 32, BiasTerm: true}),
+			core.NewReLU("relu4", "fc2", "fc2", 0),
+			core.NewInnerProduct(core.InnerProductConfig{Name: "fc3", Bottom: "fc2", Top: "fc3",
+				NumOutput: classes, BiasTerm: true}),
+			core.NewSoftmaxLoss("loss", "fc3", "label", "loss"),
+		)
+		inputs := map[string]*tensor.Tensor{
+			"data":  tensor.New(batch, 1, 8, 8),
+			"label": tensor.New(batch, 1, 1, 1),
+		}
+		if err := net.Setup(inputs); err != nil {
+			return nil, nil, err
+		}
+		return net, inputs, nil
+	}
+}
+
+// TestOverlapBitIdenticalToBarrier: the bucketed pipeline must produce
+// parameters (and replica consistency) bit-identical to the barrier
+// trainer — the recursive halving/doubling collective reduces every
+// element with the same cross-rank association order whether it
+// travels packed in one vector or split into buckets.
+func TestOverlapBitIdenticalToBarrier(t *testing.T) {
+	const classes = 3
+	ds := dataset.NewClusters(2000, classes, 1, 8, 8, 0.4, 21)
+	cfg := core.SolverConfig{BaseLR: 0.05, Momentum: 0.9}
+	for _, nodes := range []int{4, 3, 5} { // non-powers-of-two exercise the fold path
+		barrier, err := NewDistTrainer(DistConfig{Nodes: nodes, SubBatch: 8, Solver: cfg},
+			deepFactory(8, classes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		overlap, err := NewDistTrainer(DistConfig{Nodes: nodes, SubBatch: 8, Solver: cfg,
+			Overlap: true, BucketBytes: 8 << 10}, deepFactory(8, classes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for it := 0; it < 8; it++ {
+			barrier.LoadShards(ds, it)
+			overlap.LoadShards(ds, it)
+			lb := barrier.Step()
+			lo := overlap.Step()
+			if lb != lo {
+				t.Fatalf("nodes=%d iter %d: losses diverge: %v != %v", nodes, it, lb, lo)
+			}
+		}
+		if overlap.Buckets() < 2 {
+			t.Fatalf("nodes=%d: expected multiple buckets, got %d", nodes, overlap.Buckets())
+		}
+		bp := barrier.Workers[0].Net.LearnableParams()
+		op := overlap.Workers[0].Net.LearnableParams()
+		for i := range bp {
+			if d := tensor.MaxDiff(bp[i].Data, op[i].Data); d != 0 {
+				t.Fatalf("nodes=%d param %d: overlap deviates by %g from barrier (must be bit-identical)", nodes, i, d)
+			}
+		}
+		if d := overlap.ParamsDiverged(); d != 0 {
+			t.Fatalf("nodes=%d: overlap replicas diverged by %g", nodes, d)
+		}
+	}
+}
+
+// TestOverlapReducesModeledStepTime: on the modeled timeline the
+// bucketed pipeline hides most of the all-reduce behind backward
+// compute, so its step time beats the barrier trainer's.
+func TestOverlapReducesModeledStepTime(t *testing.T) {
+	const classes = 3
+	ds := dataset.NewClusters(500, classes, 1, 8, 8, 0.4, 22)
+	cfg := core.SolverConfig{BaseLR: 0.05}
+	mk := func(overlap bool) *DistTrainer {
+		d, err := NewDistTrainer(DistConfig{Nodes: 4, SubBatch: 8, Solver: cfg,
+			Overlap: overlap, BucketBytes: 8 << 10}, deepFactory(8, classes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	barrier, overlap := mk(false), mk(true)
+	barrier.LoadShards(ds, 0)
+	overlap.LoadShards(ds, 0)
+	barrier.Step()
+	overlap.Step()
+
+	b, o := barrier.LastStep, overlap.LastStep
+	if b.Compute != o.Compute {
+		t.Fatalf("modeled compute differs: %g vs %g", b.Compute, o.Compute)
+	}
+	if b.Exposed != b.Comm {
+		t.Fatalf("barrier must expose its full all-reduce: %g != %g", b.Exposed, b.Comm)
+	}
+	if !(o.StepTime < b.StepTime) {
+		t.Fatalf("overlap step %g not below barrier step %g", o.StepTime, b.StepTime)
+	}
+	if !(o.Exposed < b.Exposed/2) {
+		t.Fatalf("overlap exposed %g should hide most of barrier's %g", o.Exposed, b.Exposed)
+	}
+	if overlap.ExposedCommTime >= barrier.ExposedCommTime {
+		t.Fatalf("accumulated exposed comm: overlap %g >= barrier %g",
+			overlap.ExposedCommTime, barrier.ExposedCommTime)
+	}
+}
+
+// TestCGTrainerMatchesSeedTrainerBitForBit pins the simulated-CG
+// trainer to the pre-swnode host-math implementation: losses and every
+// replica's parameters must match bit for bit — the 4 simulated
+// CoreGroups, the stream/event chaining and the SumRun mesh kernels
+// are execution machinery only.
+func TestCGTrainerMatchesSeedTrainerBitForBit(t *testing.T) {
+	const quarter, classes = 4, 3
+	ds := dataset.NewClusters(1000, classes, 1, 3, 3, 0.4, 14)
+	cfg := core.SolverConfig{BaseLR: 0.05, Momentum: 0.9}
+
+	sim, err := NewCGTrainer(mlpFactory(quarter, classes), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+
+	// Host-math replica of the seed trainer (the implementation the
+	// simulated one replaced).
+	var refCGs []*Worker
+	for i := 0; i < 4; i++ {
+		net, inputs, err := mlpFactory(quarter, classes)()
+		if err != nil {
+			t.Fatal(err)
+		}
+		refCGs = append(refCGs, &Worker{Rank: i, Net: net, Data: inputs["data"], Labels: inputs["label"]})
+	}
+	refSolver := core.NewSolver(refCGs[0].Net, cfg)
+	seedStep := func() float32 {
+		losses := make([]float32, 4)
+		for i, w := range refCGs {
+			w.Net.ZeroParamDiffs()
+			losses[i] = w.Net.Forward(core.Train)
+			w.Net.Backward(core.Train)
+		}
+		base := refCGs[0].Net.LearnableParams()
+		for cg := 1; cg < 4; cg++ {
+			other := refCGs[cg].Net.LearnableParams()
+			for i, p := range base {
+				p.Diff.AXPY(1, other[i].Diff)
+			}
+		}
+		for _, p := range base {
+			p.Diff.Scale(0.25)
+		}
+		refSolver.ApplyUpdate()
+		for cg := 1; cg < 4; cg++ {
+			other := refCGs[cg].Net.LearnableParams()
+			for i, p := range base {
+				other[i].Data.CopyFrom(p.Data)
+			}
+		}
+		return (losses[0] + losses[1] + losses[2] + losses[3]) / 4
+	}
+
+	for it := 0; it < 12; it++ {
+		for i := 0; i < 4; i++ {
+			dataset.Batch(ds, (it*4+i)*quarter, sim.CGs[i].Data, sim.CGs[i].Labels)
+			dataset.Batch(ds, (it*4+i)*quarter, refCGs[i].Data, refCGs[i].Labels)
+		}
+		ls := sim.Step()
+		lr := seedStep()
+		if ls != lr {
+			t.Fatalf("iter %d: loss %v != seed trainer loss %v", it, ls, lr)
+		}
+	}
+	for cg := 0; cg < 4; cg++ {
+		a := sim.CGs[cg].Net.LearnableParams()
+		b := refCGs[cg].Net.LearnableParams()
+		for i := range a {
+			if d := tensor.MaxDiff(a[i].Data, b[i].Data); d != 0 {
+				t.Fatalf("CG %d param %d: simulated trainer deviates by %g (must be bit-identical)", cg, i, d)
+			}
+		}
+	}
+	if sim.SimTime <= 0 {
+		t.Fatal("no modeled node time accumulated")
+	}
+	if st := sim.Node().Stats(); st.DMAGetBytes == 0 || st.Flops == 0 {
+		t.Fatalf("gradient summation left no trace on the simulated CGs: %+v", st)
+	}
+}
+
 func TestCGTrainerMatchesFullBatch(t *testing.T) {
 	// Algorithm 1's 4-CG averaging over quarter shards must equal
 	// full-batch SGD for batch-linear nets (no batch norm).
@@ -132,6 +332,7 @@ func TestCGTrainerMatchesFullBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer cg.Close()
 	fullNet, fullIn, err := mlpFactory(4*quarter, classes)()
 	if err != nil {
 		t.Fatal(err)

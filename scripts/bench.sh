@@ -1,17 +1,19 @@
 #!/usr/bin/env bash
-# bench.sh — benchmark regression harness for the kernel execution
-# engine. Runs the key simulator/planner benchmarks with -benchmem,
-# runs the simulated-time invariance test, and writes the results as
-# JSON (default BENCH_PR1.json) to seed the perf trajectory that
-# future PRs are judged against.
+# bench.sh — benchmark regression harness. Runs the key simulator /
+# planner / trainer benchmarks with -benchmem, runs the simulated-time
+# invariance test, and writes the results as JSON (default
+# BENCH_PR2.json) extending the perf trajectory that future PRs are
+# judged against. PR 2 adds the solver update loop, the allreduce
+# pack/scale paths and the barrier-vs-overlap distributed step (whose
+# modeled-us/step metric demonstrates the communication overlap win).
 #
 # Usage: scripts/bench.sh [output.json] [benchtime]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR1.json}"
+OUT="${1:-BENCH_PR2.json}"
 BENCHTIME="${2:-1s}"
-PATTERN='^(BenchmarkSimGEMM64|BenchmarkSimGEMM128|BenchmarkSimGEMMRagged|BenchmarkSimConvExplicit|BenchmarkConvPlanSelection|BenchmarkGEMMPlanWarm|BenchmarkGEMMPlanCold|BenchmarkTable2)$'
+PATTERN='^(BenchmarkSimGEMM64|BenchmarkSimGEMM128|BenchmarkSimGEMMRagged|BenchmarkSimConvExplicit|BenchmarkConvPlanSelection|BenchmarkGEMMPlanWarm|BenchmarkGEMMPlanCold|BenchmarkTable2|BenchmarkSolverUpdate|BenchmarkAllreducePack|BenchmarkAllreduceScale|BenchmarkDistStepBarrier|BenchmarkDistStepOverlap|BenchmarkCGTrainerStep)$'
 
 echo "== running invariance check (simulated times must match golden) =="
 if go test ./internal/swdnn/ -run 'TestEngineInvariance|TestEngineDeterminism' -count=1 >/dev/null 2>&1; then
@@ -32,31 +34,37 @@ echo "$RAW" | awk -v invariance="$INVARIANCE" -v date="$(date -u +%Y-%m-%dT%H:%M
     ns[name] = $3
     bytes[name] = ""
     allocs[name] = ""
+    modeled[name] = ""
+    exposed[name] = ""
     for (i = 4; i <= NF; i++) {
-        if ($(i) == "B/op")      bytes[name]  = $(i-1)
-        if ($(i) == "allocs/op") allocs[name] = $(i-1)
+        if ($(i) == "B/op")                 bytes[name]   = $(i-1)
+        if ($(i) == "allocs/op")            allocs[name]  = $(i-1)
+        if ($(i) == "modeled-us/step")      modeled[name] = $(i-1)
+        if ($(i) == "exposed-comm-us/step") exposed[name] = $(i-1)
     }
     order[n++] = name
 }
 END {
     printf "{\n"
-    printf "  \"pr\": 1,\n"
+    printf "  \"pr\": 2,\n"
     printf "  \"date\": \"%s\",\n", date
     printf "  \"invariance\": \"%s\",\n", invariance
     printf "  \"benchmarks\": {\n"
     for (i = 0; i < n; i++) {
         name = order[i]
         printf "    \"%s\": {\"ns_op\": %s", name, ns[name]
-        if (bytes[name] != "")  printf ", \"b_op\": %s", bytes[name]
-        if (allocs[name] != "") printf ", \"allocs_op\": %s", allocs[name]
+        if (bytes[name] != "")   printf ", \"b_op\": %s", bytes[name]
+        if (allocs[name] != "")  printf ", \"allocs_op\": %s", allocs[name]
+        if (modeled[name] != "") printf ", \"modeled_us_step\": %s", modeled[name]
+        if (exposed[name] != "") printf ", \"exposed_comm_us_step\": %s", exposed[name]
         printf "}%s\n", (i < n-1 ? "," : "")
     }
     printf "  },\n"
-    printf "  \"seed_reference\": {\n"
-    printf "    \"comment\": \"pre-overhaul engine, measured at the PR-1 baseline commit\",\n"
-    printf "    \"BenchmarkSimGEMM64\": {\"ns_op\": 1150537, \"b_op\": 2550551, \"allocs_op\": 2504},\n"
-    printf "    \"BenchmarkSimGEMM128\": {\"ns_op\": 1329059, \"b_op\": 2700552, \"allocs_op\": 2565},\n"
-    printf "    \"BenchmarkConvPlanSelection\": {\"ns_op\": 491, \"b_op\": 352, \"allocs_op\": 7}\n"
+    printf "  \"pr1_reference\": {\n"
+    printf "    \"comment\": \"PR-1 engine, pre-swnode; seed (pre-overhaul) numbers live in BENCH_PR1.json\",\n"
+    printf "    \"BenchmarkSolverUpdate\": {\"allocs_op\": 10, \"comment\": \"before Net param-slice caching\"},\n"
+    printf "    \"BenchmarkAllreducePack\": {\"allocs_op\": 20, \"comment\": \"before Net param-slice caching\"},\n"
+    printf "    \"BenchmarkDistStep\": {\"comment\": \"barrier only; overlap did not exist\"}\n"
     printf "  }\n"
     printf "}\n"
 }' > "$OUT"
