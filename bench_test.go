@@ -297,7 +297,7 @@ func BenchmarkAllreduceScale(b *testing.B) {
 // multi-layer net. Besides host cost, each reports the modeled
 // iteration time, which the overlapped pipeline must reduce.
 
-func benchDistTrainer(b *testing.B, overlap bool) {
+func benchDistTrainer(b *testing.B, overlap, hostMath bool) {
 	build := func() (*core.Net, map[string]*tensor.Tensor, error) {
 		net, inputs := benchNet(8)
 		return net, inputs, nil
@@ -305,14 +305,15 @@ func benchDistTrainer(b *testing.B, overlap bool) {
 	d, err := train.NewDistTrainer(train.DistConfig{
 		Nodes: 4, SubBatch: 8,
 		Solver:  core.SolverConfig{BaseLR: 0.01, Momentum: 0.9},
-		Overlap: overlap, BucketBytes: 8 << 10,
+		Overlap: overlap, BucketBytes: 8 << 10, HostMath: hostMath,
 	}, build)
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer d.Close()
 	ds := dataset.NewClusters(512, 4, 1, 8, 8, 0.3, 7)
 	d.LoadShards(ds, 0)
-	d.Step() // warm buffers and the modeled timeline
+	d.Step() // warm buffers, the modeled timeline and the CPE pools
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -322,9 +323,17 @@ func benchDistTrainer(b *testing.B, overlap bool) {
 	b.ReportMetric(d.LastStep.Exposed*1e6, "exposed-comm-us/step")
 }
 
-func BenchmarkDistStepBarrier(b *testing.B) { benchDistTrainer(b, false) }
+// DistStep runs the multi-node cluster runtime: every worker's passes
+// execute as stream launches on its own simulated swnode.Node. The
+// HostMath variants run the same numerics as plain goroutines — the
+// host-side overhead delta is the price of the modeled node timelines.
+func BenchmarkDistStepBarrier(b *testing.B) { benchDistTrainer(b, false, false) }
 
-func BenchmarkDistStepOverlap(b *testing.B) { benchDistTrainer(b, true) }
+func BenchmarkDistStepOverlap(b *testing.B) { benchDistTrainer(b, true, false) }
+
+func BenchmarkDistStepBarrierHostMath(b *testing.B) { benchDistTrainer(b, false, true) }
+
+func BenchmarkDistStepOverlapHostMath(b *testing.B) { benchDistTrainer(b, true, true) }
 
 // BenchmarkCGTrainerStep measures one Algorithm-1 iteration on the
 // four simulated CoreGroups of a swnode.Node (quarter-batch passes +

@@ -3,8 +3,8 @@
 // pass artifact names to select a subset.
 //
 //	swbench [-plancache file] [table1 figure2 table2 figure6 figure7
-//	         figure8 figure9 table3 figure10 figure11 io pack gemm
-//	         allreduce]
+//	         figure8 figure9 table3 figure10 figure11 funcscale io pack
+//	         gemm allreduce]
 //
 // -plancache names a versioned on-disk plan cache: it is loaded before
 // the generators run (a warm file makes cold starts skip every
@@ -34,6 +34,7 @@ var artifacts = []struct {
 	{"table3", func() { experiments.Table3(os.Stdout) }},
 	{"figure10", func() { experiments.Figure10(os.Stdout) }},
 	{"figure11", func() { experiments.Figure11(os.Stdout) }},
+	{"funcscale", func() { experiments.FunctionalScaling(os.Stdout) }},
 	{"io", func() { experiments.IOStriping(os.Stdout) }},
 	{"pack", func() { experiments.PackAblation(os.Stdout) }},
 	{"gemm", func() { experiments.GEMMAblation(os.Stdout) }},

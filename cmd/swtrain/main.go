@@ -52,6 +52,7 @@ func main() {
 	cg4 := flag.Bool("cg4", false, "single-node Algorithm-1 trainer: quarter-batch passes on the 4 simulated CoreGroups of one swnode.Node (batch must divide by 4)")
 	overlap := flag.Bool("overlap", false, "multi-node: bucketed gradient flush overlapping the all-reduce with backward (vs the pack/reduce/unpack barrier)")
 	bucketKB := flag.Int("bucket-kb", 0, "overlap bucket size in KB (0 = default)")
+	hostMath := flag.Bool("hostmath", false, "multi-node: run worker passes as host goroutines instead of launches on per-worker simulated swnode.Nodes (numerics identical; skips the node timelines)")
 	flag.Parse()
 
 	ds := dataset.NewClusters(4096, *classes, 1, 8, 8, 0.35, 42)
@@ -141,12 +142,13 @@ func main() {
 
 	trainer, err := train.NewDistTrainer(train.DistConfig{
 		Nodes: *nodes, SubBatch: *batch, Solver: solverCfg,
-		Overlap: *overlap, BucketBytes: *bucketKB << 10,
+		Overlap: *overlap, BucketBytes: *bucketKB << 10, HostMath: *hostMath,
 	}, build)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	defer trainer.Close()
 	for it := 0; it < *iters; it++ {
 		trainer.LoadShards(ds, it)
 		loss := trainer.Step()
@@ -167,6 +169,10 @@ func main() {
 	}
 	fmt.Printf("replicas consistent across %d nodes [%s]; simulated all-reduce %.4fs, exposed %.4fs, last modeled step %.6fs\n",
 		*nodes, mode, trainer.CommTime, trainer.ExposedCommTime, trainer.LastStep.StepTime)
+	if !*hostMath {
+		fmt.Printf("cluster runtime: %d simulated nodes, modeled compute %.4fs, node-timeline frontier %.4fs, %d launches on rank 0\n",
+			*nodes, trainer.ComputeTime, trainer.Node(0).SimTime(), trainer.Node(0).Launches())
+	}
 }
 
 func evalAccuracy(net *core.Net, inputs map[string]*tensor.Tensor, ds dataset.Dataset, batch int) float64 {

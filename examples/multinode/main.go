@@ -1,8 +1,12 @@
-// multinode: demonstrate that swCaffe's synchronous SGD over the
-// simulated TaihuLight interconnect (Algorithm 1 + packed all-reduce)
-// produces the same parameters as serial SGD on the concatenated
-// mini-batch, then report the simulated communication costs under the
-// adjacent and topology-aware rank mappings.
+// multinode: demonstrate the multi-node cluster runtime — swCaffe's
+// synchronous SGD where every worker's forward/backward executes as
+// stream launches on its own simulated SW26010 node (swnode) and the
+// packed all-reduce runs over the simulated TaihuLight interconnect
+// (simnet). The run shows (1) parameters identical to serial SGD on
+// the concatenated mini-batch, (2) the modeled step decomposition read
+// off the node timelines plus the collective makespans, and (3) the
+// simulated communication costs under the adjacent and topology-aware
+// rank mappings.
 package main
 
 import (
@@ -57,6 +61,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer dist.Close()
 
 	// Serial reference: one worker with the concatenated batch.
 	serialNet, serialIn, err := buildNet(nodes * subBatch)
@@ -91,6 +96,14 @@ func main() {
 	fmt.Printf("replica divergence across %d workers: %.2e\n", nodes, dist.ParamsDiverged())
 	fmt.Printf("simulated all-reduce time (%d iters): %.4fs\n", iters, dist.CommTime)
 
+	// The cluster runtime: every pass above ran as a launch on one of
+	// 8 simulated SW26010 nodes; the modeled step composes those node
+	// timelines with the collective makespans.
+	st := dist.LastStep
+	fmt.Printf("cluster runtime: %d simulated nodes, %d launches each; modeled last step = %.2fus compute + %.2fus exposed comm = %.2fus\n",
+		nodes, dist.Node(0).Launches(), st.Compute*1e6, st.Exposed*1e6, st.StepTime*1e6)
+	fmt.Printf("accumulated modeled compute %.4fs vs communication %.4fs\n", dist.ComputeTime, dist.CommTime)
+
 	// Mapping comparison at a scale where the supernode boundary
 	// matters (q=4 so 8 nodes span 2 supernodes).
 	net4 := topology.Sunway()
@@ -108,5 +121,6 @@ func main() {
 			t.Step()
 		}
 		fmt.Printf("mapping %-12s: simulated comm for 10 iters = %.6fs\n", m.Name(), t.CommTime)
+		t.Close()
 	}
 }

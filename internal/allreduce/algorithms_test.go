@@ -75,6 +75,42 @@ func TestAllreduceCorrectness(t *testing.T) {
 	}
 }
 
+// TestAllreduceRaggedChunks pins the ring and RHD on non-power-of-two
+// p with vector lengths that do not divide by p: uneven ring chunk
+// bounds (including empty chunks when len < p), RHD fold ranks plus
+// the pad-to-multiple-of-pow2 working vector, and the degenerate
+// length-0 collective.
+func TestAllreduceRaggedChunks(t *testing.T) {
+	algs := map[string]Algorithm{NameRing: Ring, NameRHD: RecursiveHalvingDoubling}
+	cases := []struct{ p, length int }{
+		{3, 7},     // len % p = 1
+		{5, 12},    // len % p = 2, p non-power-of-two
+		{6, 17},    // composite non-power-of-two
+		{7, 3},     // len < p: some ring chunks are empty
+		{12, 5},    // len < p, composite
+		{13, 1},    // single element over a prime rank count
+		{9, 100},   // larger vector, 100 % 9 = 1
+		{10, 1023}, // 1023 % 10 = 3, crosses the RHD pad boundary
+	}
+	for name, alg := range algs {
+		for _, c := range cases {
+			runAllreduce(t, alg, name, c.p, c.length)
+		}
+	}
+}
+
+func TestAllreduceZeroLength(t *testing.T) {
+	// A zero-length gradient (a net with no learnable parameters in a
+	// bucket) must still complete the handshake on every algorithm.
+	for name, alg := range map[string]Algorithm{
+		NameRing: Ring, NameBinomial: BinomialTree, NameRHD: RecursiveHalvingDoubling,
+	} {
+		for _, p := range []int{2, 3, 5, 8} {
+			runAllreduce(t, alg, name, p, 0)
+		}
+	}
+}
+
 func TestAllreduceInputNotModified(t *testing.T) {
 	p, length := 8, 100
 	inputs := make([][]float32, p)

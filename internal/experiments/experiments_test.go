@@ -284,6 +284,41 @@ func TestFigure10And11Claims(t *testing.T) {
 	}
 }
 
+// TestFunctionalScalingClaims: the measured (executed, not priced)
+// cluster-runtime sweep must hold the paper's qualitative claims —
+// the bucketed overlap hides communication the barrier exposes, and
+// the saving persists at every node count.
+func TestFunctionalScalingClaims(t *testing.T) {
+	rows := FunctionalScaling(io.Discard)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		b, o := r.Barrier.Stats, r.Overlap.Stats
+		if b.Compute <= 0 || b.Comm <= 0 || b.StepTime <= 0 {
+			t.Fatalf("p=%d: degenerate barrier stats %+v", r.Nodes, b)
+		}
+		if b.Exposed != b.Comm {
+			t.Errorf("p=%d: barrier must expose its full all-reduce (%g != %g)", r.Nodes, b.Exposed, b.Comm)
+		}
+		if !(o.Exposed < b.Exposed) {
+			t.Errorf("p=%d: overlap exposed %g not below barrier %g", r.Nodes, o.Exposed, b.Exposed)
+		}
+		if !(o.StepTime < b.StepTime) {
+			t.Errorf("p=%d: overlap step %g not below barrier %g", r.Nodes, o.StepTime, b.StepTime)
+		}
+		if b.Compute != o.Compute {
+			t.Errorf("p=%d: modeled compute differs between paths: %g vs %g", r.Nodes, b.Compute, o.Compute)
+		}
+	}
+	// Communication share of the measured step grows with scale.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Barrier.CommShare <= rows[i-1].Barrier.CommShare {
+			t.Errorf("measured comm share should grow with p: %+v vs %+v", rows[i-1].Barrier, rows[i].Barrier)
+		}
+	}
+}
+
 func TestIOStripingClaims(t *testing.T) {
 	rows := IOStriping(io.Discard)
 	find := func(stripes, procs int) IOStripingRow {

@@ -5,9 +5,12 @@ import (
 	"io"
 
 	"swcaffe/internal/allreduce"
+	"swcaffe/internal/core"
+	"swcaffe/internal/dataset"
 	"swcaffe/internal/models"
 	"swcaffe/internal/pario"
 	"swcaffe/internal/simnet"
+	"swcaffe/internal/tensor"
 	"swcaffe/internal/topology"
 	"swcaffe/internal/train"
 )
@@ -144,6 +147,91 @@ func Figure11(w io.Writer) []ScalingSeries {
 	}
 	tw.Flush()
 	return out
+}
+
+// funcScaleNet is the small conv+fc workload of the functional scaling
+// sweep: big enough to span several gradient buckets, small enough to
+// simulate every CoreGroup at every node count.
+func funcScaleNet(batch, classes int) (*core.Net, map[string]*tensor.Tensor, error) {
+	net := core.NewNet("funcscale", "data", "label")
+	net.AddLayers(
+		core.NewConv(core.ConvConfig{Name: "conv1", Bottom: "data", Top: "conv1",
+			NumOutput: 8, Kernel: 3, Stride: 1, Pad: 1, BiasTerm: true}),
+		core.NewReLU("relu1", "conv1", "conv1", 0),
+		core.NewInnerProduct(core.InnerProductConfig{Name: "fc1", Bottom: "conv1", Top: "fc1",
+			NumOutput: 64, BiasTerm: true}),
+		core.NewReLU("relu2", "fc1", "fc1", 0),
+		core.NewInnerProduct(core.InnerProductConfig{Name: "fc2", Bottom: "fc1", Top: "fc2",
+			NumOutput: classes, BiasTerm: true}),
+		core.NewSoftmaxLoss("loss", "fc2", "label", "loss"),
+	)
+	inputs := map[string]*tensor.Tensor{
+		"data":  tensor.New(batch, 1, 8, 8),
+		"label": tensor.New(batch, 1, 1, 1),
+	}
+	if err := net.Setup(inputs); err != nil {
+		return nil, nil, err
+	}
+	return net, inputs, nil
+}
+
+// FunctionalScalingRow is one measured point of the cluster-runtime
+// sweep: barrier and overlap modeled step decompositions at p nodes.
+type FunctionalScalingRow struct {
+	Nodes   int
+	Barrier train.FunctionalPoint
+	Overlap train.FunctionalPoint
+}
+
+var functionalNodeCounts = []int{2, 4, 8}
+
+// FunctionalScaling executes the multi-node cluster runtime end to end
+// — every worker's passes as stream launches on its own simulated
+// swnode.Node, collectives over simnet — and reports the measured
+// modeled step decompositions, barrier vs bucketed overlap. It is the
+// functional complement of Figs. 10/11's closed-form curves: same
+// machinery the distributed trainer tests pin bit-identical to host
+// math, so these numbers are executed, not priced.
+func FunctionalScaling(w io.Writer) []FunctionalScalingRow {
+	const classes = 4
+	ds := dataset.NewClusters(4096, classes, 1, 8, 8, 0.35, 77)
+	build := func() (*core.Net, map[string]*tensor.Tensor, error) { return funcScaleNet(8, classes) }
+	solver := core.SolverConfig{BaseLR: 0.05, Momentum: 0.9}
+
+	sweep := func(overlap bool) []train.FunctionalPoint {
+		pts, err := train.FunctionalSweep(build, ds, functionalNodeCounts, train.FunctionalSweepConfig{
+			SubBatch: 8, Solver: solver, Overlap: overlap, BucketBytes: 8 << 10, Iters: 2,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return pts
+	}
+	var barrier, overlap []train.FunctionalPoint
+	parallelFor(2, func(i int) {
+		if i == 0 {
+			barrier = sweep(false)
+		} else {
+			overlap = sweep(true)
+		}
+	})
+
+	rows := make([]FunctionalScalingRow, len(functionalNodeCounts))
+	section(w, "Functional scaling: cluster runtime on simulated swnode.Nodes (measured, not priced)")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "nodes\tbarrier step\tbarrier exposed\toverlap step\toverlap exposed\toverlap speedup")
+	for i := range rows {
+		rows[i] = FunctionalScalingRow{Nodes: functionalNodeCounts[i], Barrier: barrier[i], Overlap: overlap[i]}
+		b, o := rows[i].Barrier.Stats, rows[i].Overlap.Stats
+		gain := 1.0
+		if o.StepTime > 0 {
+			gain = b.StepTime / o.StepTime
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%.3fx\n", rows[i].Nodes,
+			fmtTime(b.StepTime), fmtTime(b.Exposed), fmtTime(o.StepTime), fmtTime(o.Exposed), gain)
+	}
+	tw.Flush()
+	return rows
 }
 
 func shortName(model string) string {

@@ -35,14 +35,48 @@ type Cluster struct {
 	// optimization) instead of the MPE rate.
 	ReduceOnCPE bool
 
-	mu     sync.Mutex
-	inbox  map[[2]int]chan wire // (src, dst) -> channel
-	clocks []float64
+	// pool holds the runState of the last cleanly-completed Run for
+	// reuse (its channels are provably drained and nothing references
+	// them). A failed Run never returns its state here, so the hot
+	// path stays allocation-light without weakening failure isolation.
+	mu   sync.Mutex
+	pool *runState
 }
 
 type wire struct {
 	data     []float32
 	sendTime float64
+}
+
+// runState is the message-passing state of one Run. A Run only ever
+// starts on a state no failed Run has touched (fresh, or recycled
+// from a Run that completed cleanly with all channels drained), so
+// wires buffered — or goroutines still blocked in Send/Recv — when a
+// rank panicked can never leak into, and silently corrupt, a later
+// Run on the same cluster.
+type runState struct {
+	mu    sync.Mutex
+	inbox map[[2]int]chan wire // (src, dst) -> channel
+
+	// results holds RunGather's per-rank return values. It lives and
+	// dies with the run state for the same reason the channels do: a
+	// rank goroutine stranded by a peer's panic may still finish its
+	// algorithm and store its result arbitrarily late, and that late
+	// write must land in the abandoned run's private storage, never in
+	// a later call's.
+	results [][]float32
+}
+
+func (rs *runState) channel(src, dst int) chan wire {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	key := [2]int{src, dst}
+	ch, ok := rs.inbox[key]
+	if !ok {
+		ch = make(chan wire, 8)
+		rs.inbox[key] = ch
+	}
+	return ch
 }
 
 // NewCluster builds a cluster of p nodes.
@@ -53,27 +87,14 @@ func NewCluster(net *topology.Network, mapping topology.Mapping, p int) *Cluster
 	return &Cluster{
 		Net: net, Mapping: mapping, P: p,
 		BytesPerElem: 4,
-		inbox:        make(map[[2]int]chan wire),
-		clocks:       make([]float64, p),
 	}
-}
-
-func (c *Cluster) channel(src, dst int) chan wire {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	key := [2]int{src, dst}
-	ch, ok := c.inbox[key]
-	if !ok {
-		ch = make(chan wire, 8)
-		c.inbox[key] = ch
-	}
-	return ch
 }
 
 // Node is the per-rank handle passed to collective algorithm bodies.
 type Node struct {
 	Rank    int
 	cluster *Cluster
+	run     *runState
 	clock   float64
 }
 
@@ -99,14 +120,14 @@ func (n *Node) Send(peer int, data []float32) {
 		panic("simnet: send to self")
 	}
 	alpha, transfer := n.cluster.linkCost(n.Rank, peer, len(data))
-	n.cluster.channel(n.Rank, peer) <- wire{data: data, sendTime: n.clock}
+	n.run.channel(n.Rank, peer) <- wire{data: data, sendTime: n.clock}
 	n.clock += alpha + transfer
 }
 
 // Recv blocks for a message from peer and advances the clock to the
 // arrival time: max(local, remote-send) + α + βn.
 func (n *Node) Recv(peer int) []float32 {
-	m := <-n.cluster.channel(peer, n.Rank)
+	m := <-n.run.channel(peer, n.Rank)
 	alpha, transfer := n.cluster.linkCost(peer, n.Rank, len(m.data))
 	start := n.clock
 	if m.sendTime > start {
@@ -123,8 +144,8 @@ func (n *Node) SendRecv(peer int, sendData []float32) []float32 {
 	if peer == n.Rank {
 		panic("simnet: sendrecv with self")
 	}
-	n.cluster.channel(n.Rank, peer) <- wire{data: sendData, sendTime: n.clock}
-	m := <-n.cluster.channel(peer, n.Rank)
+	n.run.channel(n.Rank, peer) <- wire{data: sendData, sendTime: n.clock}
+	m := <-n.run.channel(peer, n.Rank)
 	elems := len(sendData)
 	if len(m.data) > elems {
 		elems = len(m.data)
@@ -159,13 +180,50 @@ type Result struct {
 }
 
 // Run executes body on every rank concurrently and returns the
-// makespan. Each invocation starts from zeroed clocks. A panic on any
-// rank is re-raised on the calling goroutine.
+// makespan. Each invocation starts from zeroed clocks and a fresh set
+// of message channels.
+//
+// Failure semantics: a panic on any rank is re-raised on the calling
+// goroutine as soon as it is observed — peers blocked on the failed
+// rank's channels are not joined first. Those stranded goroutines (and
+// any wires they buffered, and any results they store late) reference
+// only this Run's private state, so they can never deliver into a
+// later Run: after recovering the panic the same Cluster can be reused
+// and the next collective runs on clean state. The stranded goroutines
+// themselves stay parked until process exit — one bounded leak per
+// injected failure, the same trade an aborted MPI job makes.
 func (c *Cluster) Run(body func(n *Node)) Result {
+	res, _ := c.RunGather(func(n *Node) []float32 {
+		body(n)
+		return nil
+	})
+	return res
+}
+
+// RunGather is Run for bodies that produce a per-rank result (the
+// shape of an all-reduce): it additionally returns the ranks' return
+// values, indexed by rank. The returned slice is owned by the cluster
+// and valid only until the next Run/RunGather — callers keeping
+// results across collectives must copy the entries out. Collecting
+// through here instead of through caller-owned shared storage matters
+// for failure isolation: a rank that outlives a peer's panic stores
+// its late result into the abandoned run's private slice, so reused
+// caller staging can never be corrupted across a recovered failure.
+func (c *Cluster) RunGather(body func(n *Node) []float32) (Result, [][]float32) {
 	var wg sync.WaitGroup
+	c.mu.Lock()
+	rs := c.pool
+	c.pool = nil
+	c.mu.Unlock()
+	if rs == nil {
+		rs = &runState{inbox: make(map[[2]int]chan wire)}
+	}
+	if rs.results == nil {
+		rs.results = make([][]float32, c.P)
+	}
 	nodes := make([]*Node, c.P)
 	for r := 0; r < c.P; r++ {
-		nodes[r] = &Node{Rank: r, cluster: c}
+		nodes[r] = &Node{Rank: r, cluster: c, run: rs}
 	}
 	wg.Add(c.P)
 	panicCh := make(chan string, c.P)
@@ -177,7 +235,7 @@ func (c *Cluster) Run(body func(n *Node)) Result {
 					panicCh <- fmt.Sprintf("rank %d: %v", nd.Rank, rec)
 				}
 			}()
-			body(nd)
+			rs.results[nd.Rank] = body(nd)
 		}(nodes[r])
 	}
 	// A panicking rank can leave peers blocked on its channels; do not
@@ -204,16 +262,23 @@ func (c *Cluster) Run(body func(n *Node)) Result {
 			res.Time = nd.clock
 		}
 	}
-	// Drain any stray messages so the next Run starts clean.
-	c.mu.Lock()
-	for k, ch := range c.inbox {
+	// A completed collective must have consumed every message it sent
+	// (an unconsumed wire on a clean exit is an algorithm bug worth
+	// failing loudly on). Only a state that passes this check goes back
+	// to the pool; the failure paths above abandoned rs with its
+	// channels, so nothing stale can reach a later Run.
+	rs.mu.Lock()
+	for k, ch := range rs.inbox {
 		select {
 		case <-ch:
-			c.mu.Unlock()
+			rs.mu.Unlock()
 			panic(fmt.Sprintf("simnet: unconsumed message on link %v", k))
 		default:
 		}
 	}
+	rs.mu.Unlock()
+	c.mu.Lock()
+	c.pool = rs
 	c.mu.Unlock()
-	return res
+	return res, rs.results
 }

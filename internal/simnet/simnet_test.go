@@ -150,6 +150,101 @@ func TestMakespanIsMaxClock(t *testing.T) {
 	}
 }
 
+// TestPanicDoesNotPoisonNextRun is the failure-injection regression
+// for the Run failure path: a rank that panics mid-collective leaves
+// buffered wires (and peers blocked in Recv) behind, and before the
+// per-Run inbox rebuild those stale messages were delivered into the
+// next Run on the same cluster, silently corrupting its numerics.
+func TestPanicDoesNotPoisonNextRun(t *testing.T) {
+	net := topology.Sunway()
+	cl := NewCluster(net, topology.AdjacentMapping{Q: net.SupernodeSize}, 4)
+
+	// Run 1: every surviving rank posts a poison payload toward rank 0,
+	// then rank 0 panics without receiving any of them. The sends land
+	// in the (buffered) wires and go stale.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("injected rank panic was not re-raised")
+			}
+		}()
+		cl.Run(func(n *Node) {
+			if n.Rank == 0 {
+				panic("injected fault")
+			}
+			n.Send(0, []float32{-9999, -9999})
+		})
+	}()
+
+	// Run 2: a clean exchange on the same cluster. Rank 0 must see the
+	// fresh payloads, not the stale poison from the failed Run.
+	for trial := 0; trial < 2; trial++ {
+		var got [4][]float32
+		cl.Run(func(n *Node) {
+			if n.Rank == 0 {
+				for peer := 1; peer < 4; peer++ {
+					got[peer] = n.Recv(peer)
+				}
+			} else {
+				n.Send(0, []float32{float32(n.Rank), float32(trial)})
+			}
+		})
+		for peer := 1; peer < 4; peer++ {
+			if len(got[peer]) != 2 || got[peer][0] != float32(peer) || got[peer][1] != float32(trial) {
+				t.Fatalf("trial %d: rank 0 received stale/corrupt payload from %d: %v", trial, peer, got[peer])
+			}
+		}
+	}
+}
+
+// TestPanicWithBlockedReceiverDoesNotPoisonNextRun injects the other
+// failure shape: a peer still parked inside Recv when a rank panics.
+// The stranded goroutine must stay bound to the failed Run's channels
+// and never intercept a message of a later Run.
+func TestPanicWithBlockedReceiverDoesNotPoisonNextRun(t *testing.T) {
+	net := topology.Sunway()
+	cl := NewCluster(net, topology.AdjacentMapping{Q: net.SupernodeSize}, 2)
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("injected rank panic was not re-raised")
+			}
+		}()
+		cl.Run(func(n *Node) {
+			if n.Rank == 0 {
+				panic("injected fault")
+			}
+			n.Recv(0) // blocks forever: rank 0 never sends
+		})
+	}()
+
+	// The stranded rank-1 goroutine from Run 1 is still blocked in Recv
+	// on the dead Run's channel; this send must reach the new Run's
+	// rank 1, not the ghost.
+	var got []float32
+	cl.Run(func(n *Node) {
+		if n.Rank == 0 {
+			n.Send(1, []float32{42})
+		} else {
+			got = n.Recv(0)
+		}
+	})
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("message stolen by a stranded receiver from the failed run: %v", got)
+	}
+
+	// The collective numerics stay clean too.
+	sums := make([]float32, 2)
+	cl.Run(func(n *Node) {
+		out := n.SendRecv(1-n.Rank, []float32{float32(n.Rank + 1)})
+		sums[n.Rank] = float32(n.Rank+1) + out[0]
+	})
+	if sums[0] != 3 || sums[1] != 3 {
+		t.Fatalf("post-failure collective corrupted: %v", sums)
+	}
+}
+
 func TestSelfSendPanics(t *testing.T) {
 	cl := twoNodes()
 	defer func() {

@@ -19,7 +19,9 @@ type Stats struct {
 	LDMHighTide int     // max LDM bytes live on any CPE
 }
 
-func (s *Stats) add(o *Stats) {
+// Add accumulates o into s: counters sum, LDMHighTide takes the max.
+// Used by the node/cluster layers to aggregate CoreGroup stats.
+func (s *Stats) Add(o *Stats) {
 	s.DMAGetBytes += o.DMAGetBytes
 	s.DMAPutBytes += o.DMAPutBytes
 	s.RLCBytes += o.RLCBytes
@@ -659,10 +661,10 @@ func (cg *CoreGroup) RunN(n int, kernel func(pe *CPE)) float64 {
 			panic(fmt.Sprintf("sw26010: CPE(%d,%d) leaked %d bytes of LDM", pe.Row, pe.Col, pe.ldmUsed))
 		}
 		pe.stats.LDMHighTide = pe.ldmPeak
-		agg.add(&pe.stats)
+		agg.Add(&pe.stats)
 	}
 	cg.mu.Lock()
-	cg.stats.add(&agg)
+	cg.stats.Add(&agg)
 	cg.mu.Unlock()
 	return maxClock
 }

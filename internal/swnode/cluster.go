@@ -1,0 +1,108 @@
+package swnode
+
+import (
+	"fmt"
+
+	"swcaffe/internal/sw26010"
+)
+
+// Cluster composes N simulated SW26010 nodes into one machine: the
+// multi-node counterpart of Node that the distributed trainer drives
+// (paper Sec. V — Algorithm 1's 4-CG node compute replicated across
+// the interconnect). Each member node owns its four CoreGroups and its
+// own modeled timeline; nodes share nothing, so launches on different
+// nodes execute concurrently on the host exactly like launches on
+// different CoreGroups of one node do, and per-node simulated times
+// stay independent and deterministic.
+//
+// Cluster only manages node lifetime and aggregate views; inter-node
+// communication is simnet's job (the two simulators compose: node
+// timelines price the compute legs, simnet prices the collectives).
+type Cluster struct {
+	nodes []*Node
+}
+
+// NewCluster builds p simulated nodes around one hardware model (nil
+// selects the calibrated default). CPE worker pools spin up lazily on
+// each node's first launch, so an idle cluster costs no goroutines.
+func NewCluster(p int, m *sw26010.Model) *Cluster {
+	if p <= 0 {
+		panic(fmt.Sprintf("swnode: cluster size %d must be positive", p))
+	}
+	if m == nil {
+		m = sw26010.Default()
+	}
+	c := &Cluster{nodes: make([]*Node, p)}
+	for i := range c.nodes {
+		c.nodes[i] = NewNode(m)
+	}
+	return c
+}
+
+// Size returns the number of nodes.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Node returns node i (0..Size-1).
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Sync joins every node's outstanding launches. If any node recorded a
+// kernel panic, Sync re-raises the first one — but only after every
+// node has quiesced, so the cluster is never left with in-flight work
+// behind a re-raised failure.
+func (c *Cluster) Sync() {
+	var first any
+	for _, n := range c.nodes {
+		func() {
+			defer func() {
+				if r := recover(); r != nil && first == nil {
+					first = r
+				}
+			}()
+			n.Sync()
+		}()
+	}
+	if first != nil {
+		panic(first)
+	}
+}
+
+// SimTimes appends each node's modeled makespan to dst (reusing its
+// capacity) and returns it. Call after Sync.
+func (c *Cluster) SimTimes(dst []float64) []float64 {
+	dst = dst[:0]
+	for _, n := range c.nodes {
+		dst = append(dst, n.SimTime())
+	}
+	return dst
+}
+
+// MaxSimTime returns the latest modeled makespan over all nodes — the
+// cluster-wide compute frontier a collective barriers on. Call after
+// Sync.
+func (c *Cluster) MaxSimTime() float64 {
+	var t float64
+	for _, n := range c.nodes {
+		if st := n.SimTime(); st > t {
+			t = st
+		}
+	}
+	return t
+}
+
+// Stats sums the simulated activity of every node's CoreGroups.
+func (c *Cluster) Stats() sw26010.Stats {
+	var agg sw26010.Stats
+	for _, n := range c.nodes {
+		s := n.Stats()
+		agg.Add(&s)
+	}
+	return agg
+}
+
+// Close drains every node and stops its CPE worker pools. The cluster
+// must not be used afterwards.
+func (c *Cluster) Close() {
+	for _, n := range c.nodes {
+		n.Close()
+	}
+}

@@ -133,17 +133,7 @@ func (n *Node) Stats() sw26010.Stats {
 	var agg sw26010.Stats
 	for _, cg := range n.cgs {
 		s := cg.Stats()
-		agg.DMAGetBytes += s.DMAGetBytes
-		agg.DMAPutBytes += s.DMAPutBytes
-		agg.RLCBytes += s.RLCBytes
-		agg.RLCMsgs += s.RLCMsgs
-		agg.Flops += s.Flops
-		agg.DMATime += s.DMATime
-		agg.ComputeTime += s.ComputeTime
-		agg.RLCTime += s.RLCTime
-		if s.LDMHighTide > agg.LDMHighTide {
-			agg.LDMHighTide = s.LDMHighTide
-		}
+		agg.Add(&s)
 	}
 	return agg
 }

@@ -119,6 +119,28 @@ func (s *Stream) LaunchWeighted(weight float64, kernel func(cg *sw26010.CoreGrou
 	return e
 }
 
+// Poisoned reports whether the stream's most recent launch failed —
+// panicked, or inherited a predecessor's panic — which poisons every
+// later launch submitted to this stream. Callers that recover from a
+// launch failure and want to keep the node should check this on the
+// quiescent stream and continue on a fresh one (a launch still in
+// flight reports false). Cf. the Stream doc: "after handling the
+// failure, continue on a fresh stream".
+func (s *Stream) Poisoned() bool {
+	s.mu.Lock()
+	tail := s.tail
+	s.mu.Unlock()
+	if tail == nil {
+		return false
+	}
+	select {
+	case <-tail.done:
+		return tail.err != nil
+	default:
+		return false
+	}
+}
+
 // Wait blocks until every launch submitted to the stream so far has
 // completed and returns the stream's modeled finish time (0 when the
 // stream never launched).

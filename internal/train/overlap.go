@@ -1,7 +1,6 @@
 package train
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"swcaffe/internal/allreduce"
@@ -74,7 +73,9 @@ func buildBuckets(net *core.Net, bucketBytes int) []gradBucket {
 }
 
 // ensureTimeline lazily prices the per-layer modeled compute timeline
-// shared by both trainer variants.
+// shared by both trainer variants. The node-backed passes advance
+// their CPE clocks to exactly these offsets, so layerDone doubles as
+// the per-node modeled production time of each layer's gradient.
 func (t *DistTrainer) ensureTimeline() {
 	if t.layerDone != nil {
 		return
@@ -93,7 +94,10 @@ func (t *DistTrainer) ensureTimeline() {
 	}
 }
 
-// ensureOverlapState builds the buckets and per-worker staging once.
+// ensureOverlapState builds the buckets and the staging reused across
+// Steps once: the per-worker bucket buffers plus the flush-loop
+// scaffolding (signal channels, counts, packed/reduced views) that
+// used to be rebuilt every Step.
 func (t *DistTrainer) ensureOverlapState() {
 	t.ensureTimeline()
 	if t.buckets != nil {
@@ -109,6 +113,21 @@ func (t *DistTrainer) ensureOverlapState() {
 			w.bucketBufs[b] = make([]float32, bk.elems)
 		}
 	}
+	nw, nb := len(t.Workers), len(t.buckets)
+	t.ovReady = make([]chan struct{}, nb)
+	for b := range t.ovReady {
+		// Capacity-1 signal channel: the last-arriving worker sends one
+		// token, the flush loop consumes it, and the empty channel is
+		// ready for the next Step — no per-Step close/remake.
+		t.ovReady[b] = make(chan struct{}, 1)
+	}
+	t.ovCounts = make([]int32, nb)
+	t.ovPacked = make([][]float32, nw)
+	t.ovReduced = make([][][]float32, nb)
+	for b := range t.ovReduced {
+		t.ovReduced[b] = make([][]float32, nw)
+	}
+	t.ovCommTimes = make([]float64, nb)
 }
 
 // stepOverlap is the bucketed-pipeline Step.
@@ -116,63 +135,100 @@ func (t *DistTrainer) stepOverlap() float32 {
 	t.ensureOverlapState()
 	nw := len(t.Workers)
 	nb := len(t.buckets)
-	losses := make([]float32, nw)
-	ready := make([]chan struct{}, nb)
-	for b := range ready {
-		ready[b] = make(chan struct{})
+	losses := t.losses
+	ready := t.ovReady
+	counts := t.ovCounts
+	for b := range counts {
+		counts[b] = 0
+		// Drain any token left by a Step that panicked between a
+		// bucket's completion and its consumption — a stale token would
+		// let this Step's flush loop read a bucket mid-copy.
+		select {
+		case <-ready[b]:
+		default:
+		}
 	}
-	counts := make([]int32, nb)
 
-	var wg sync.WaitGroup
-	wg.Add(nw)
-	for i, w := range t.Workers {
-		go func(i int, w *Worker) {
-			defer wg.Done()
-			w.Net.ZeroParamDiffs()
-			losses[i] = w.Net.Forward(core.Train)
-			params := w.Net.LearnableParams()
-			next := 0
-			w.Net.BackwardEach(core.Train, func(li int) {
-				for next < nb && t.buckets[next].readyLayer == li {
-					buf := w.bucketBufs[next]
-					off := 0
-					for _, pi := range t.buckets[next].params {
-						d := params[pi].Diff
-						copy(buf[off:], d.Data)
-						off += d.Len()
-					}
-					if atomic.AddInt32(&counts[next], 1) == int32(nw) {
-						close(ready[next])
-					}
-					next++
+	// Each worker's pass runs as a launch on its simulated node. The
+	// launch is charged the whole priced pass cost in one tick (an
+	// incremental walk would rebuild computeEnd from float differences
+	// and shed bits); the per-layer production offsets of the modeled
+	// overlay come from layerDone, where the bucket hook flushes.
+	join, failed := t.launchPasses(true, func(i int, w *Worker, tick func(float64)) {
+		w.Net.ZeroParamDiffs()
+		losses[i] = w.Net.Forward(core.Train)
+		params := w.Net.LearnableParams()
+		next := 0
+		w.Net.BackwardEach(core.Train, func(li int) {
+			for next < nb && t.buckets[next].readyLayer == li {
+				buf := w.bucketBufs[next]
+				off := 0
+				for _, pi := range t.buckets[next].params {
+					d := params[pi].Diff
+					copy(buf[off:], d.Data)
+					off += d.Len()
 				}
-			})
-		}(i, w)
-	}
+				if atomic.AddInt32(&counts[next], 1) == int32(nw) {
+					ready[next] <- struct{}{}
+				}
+				next++
+			}
+		})
+		tick(t.computeEnd)
+	})
 
 	// Flush loop: bucket b's collective starts the moment the last
-	// worker produced it, concurrent with the remaining backward.
-	reduced := make([][][]float32, nb) // [bucket][rank]
-	commTimes := make([]float64, nb)
-	for b := 0; b < nb; b++ {
-		<-ready[b]
-		packed := make([][]float32, nw)
-		for i, w := range t.Workers {
-			packed[i] = w.bucketBufs[b]
+	// worker produced it, concurrent with the remaining backward. A
+	// pass panic is recovered into its launch Event (node mode), so a
+	// poisoned worker can never complete a bucket: without the failed
+	// arm the loop would wait forever on a signal that cannot come.
+	reduced := t.ovReduced // [bucket][rank]
+	commTimes := t.ovCommTimes
+	flushErr := func() (r any) {
+		defer func() { r = recover() }()
+		for b := 0; b < nb; b++ {
+			select {
+			case <-ready[b]:
+			case err := <-failed:
+				panic(err)
+			}
+			packed := t.ovPacked
+			for i, w := range t.Workers {
+				packed[i] = w.bucketBufs[b]
+			}
+			// Per-rank outputs return through the run's private storage
+			// (see RunGather) and are copied into the reused staging only
+			// on the clean path, so a rank stranded by a failed collective
+			// can never write into a recovered trainer's next Step.
+			res, outs := t.cluster.RunGather(func(n *simnet.Node) []float32 {
+				out := t.cfg.Algorithm(n, packed[n.Rank])
+				n.ChargeReduce(len(out))
+				return out
+			})
+			copy(reduced[b], outs)
+			commTimes[b] = res.Time
 		}
-		red := make([][]float32, nw)
-		var mu sync.Mutex
-		res := t.cluster.Run(func(n *simnet.Node) {
-			out := t.cfg.Algorithm(n, packed[n.Rank])
-			n.ChargeReduce(len(out))
-			mu.Lock()
-			red[n.Rank] = out
-			mu.Unlock()
-		})
-		reduced[b] = red
-		commTimes[b] = res.Time
+		return nil
+	}()
+	if flushErr != nil {
+		// Whatever failed — a poisoned pass, or the collective itself
+		// panicking while workers are still mid-backward — quiesce every
+		// in-flight pass before letting the failure escape, so a caller
+		// that recovers can reuse the trainer without racing them. join
+		// also clears the node-level pass poison by re-raising it, which
+		// we swallow in favor of the root failure. Ranks stranded by a
+		// failed collective cannot be quiesced (simnet does not join
+		// them) and may still read the packed-input staging, so mark it
+		// for re-allocation instead.
+		t.commDirty = true
+		func() {
+			defer func() { recover() }()
+			join()
+		}()
+		panic(flushErr)
 	}
-	wg.Wait()
+	join()
+	compute := t.stepCompute()
 
 	// Average every bucket and update every replica identically.
 	for i, w := range t.Workers {
@@ -192,7 +248,9 @@ func (t *DistTrainer) stepOverlap() float32 {
 	t.iter++
 
 	// Modeled timeline: chain the bucket collectives behind their
-	// ready times; exposed communication is whatever outlives backward.
+	// production times on the node timelines (layerDone[readyLayer] is
+	// exactly where every node's CPE clock stood when the bucket was
+	// flushed); exposed communication is whatever outlives backward.
 	var commSum, commEnd float64
 	for b := 0; b < nb; b++ {
 		start := t.layerDone[t.buckets[b].readyLayer]
@@ -202,16 +260,17 @@ func (t *DistTrainer) stepOverlap() float32 {
 		commEnd = start + commTimes[b]
 		commSum += commTimes[b]
 	}
-	stepTime := t.computeEnd
+	stepTime := compute
 	if commEnd > stepTime {
 		stepTime = commEnd
 	}
 	t.LastStep = StepStats{
-		Compute:  t.computeEnd,
+		Compute:  compute,
 		Comm:     commSum,
-		Exposed:  stepTime - t.computeEnd,
+		Exposed:  stepTime - compute,
 		StepTime: stepTime,
 	}
+	t.ComputeTime += compute
 	t.CommTime += commSum
 	t.ExposedCommTime += t.LastStep.Exposed
 

@@ -15,10 +15,13 @@ import (
 	"math"
 
 	"swcaffe/internal/allreduce"
+	"swcaffe/internal/core"
+	"swcaffe/internal/dataset"
 	"swcaffe/internal/models"
 	"swcaffe/internal/pario"
 	"swcaffe/internal/perf"
 	"swcaffe/internal/sw26010"
+	"swcaffe/internal/tensor"
 	"swcaffe/internal/topology"
 )
 
@@ -209,6 +212,80 @@ func Sweep(cfg ScalingConfig, nodes []int) ([]ScalePoint, error) {
 			CommFraction: bd.CommFraction(),
 			IterTime:     bd.Total(),
 		})
+	}
+	return out, nil
+}
+
+// FunctionalPoint is one measured — not analytic — scaling point: the
+// node-backed DistTrainer actually executed iters synchronous steps at
+// p nodes (every worker's passes as stream launches on its own
+// simulated swnode.Node, collectives over simnet), and these are the
+// modeled numbers it reported.
+type FunctionalPoint struct {
+	Nodes     int
+	Stats     StepStats // modeled decomposition of the last step
+	Speedup   float64   // p·T(1)/T(p) over the measured step times
+	CommShare float64   // Comm / StepTime of the last step
+	Loss      float32   // mean loss of the last step
+}
+
+// FunctionalSweepConfig parameterizes FunctionalSweep.
+type FunctionalSweepConfig struct {
+	SubBatch    int // per-node mini-batch of the replicas build produces
+	Solver      core.SolverConfig
+	Overlap     bool
+	BucketBytes int
+	Iters       int // steps per point (default 2)
+	Algorithm   allreduce.Algorithm
+	Network     *topology.Network
+	Mapping     topology.Mapping
+}
+
+// FunctionalSweep runs the cluster runtime end to end at each node
+// count and reports what the modeled timelines measured — the
+// functional counterpart of Sweep's closed-form curve, at node counts
+// where actually simulating every CoreGroup is affordable. build must
+// be a deterministic replica factory; ds feeds LoadShards.
+func FunctionalSweep(build func() (*core.Net, map[string]*tensor.Tensor, error), ds dataset.Dataset, nodeCounts []int, cfg FunctionalSweepConfig) ([]FunctionalPoint, error) {
+	if cfg.Iters <= 0 {
+		cfg.Iters = 2
+	}
+	if cfg.SubBatch <= 0 {
+		return nil, fmt.Errorf("train: FunctionalSweep needs a positive SubBatch, got %d", cfg.SubBatch)
+	}
+	measure := func(p int) (StepStats, float32, error) {
+		tr, err := NewDistTrainer(DistConfig{
+			Nodes: p, SubBatch: cfg.SubBatch, Solver: cfg.Solver,
+			Overlap: cfg.Overlap, BucketBytes: cfg.BucketBytes,
+			Algorithm: cfg.Algorithm, Network: cfg.Network, Mapping: cfg.Mapping,
+		}, build)
+		if err != nil {
+			return StepStats{}, 0, err
+		}
+		defer tr.Close()
+		var loss float32
+		for it := 0; it < cfg.Iters; it++ {
+			tr.LoadShards(ds, it)
+			loss = tr.Step()
+		}
+		return tr.LastStep, loss, nil
+	}
+	base, _, err := measure(1)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FunctionalPoint, 0, len(nodeCounts))
+	for _, p := range nodeCounts {
+		st, loss, err := measure(p)
+		if err != nil {
+			return nil, err
+		}
+		pt := FunctionalPoint{Nodes: p, Stats: st, Loss: loss}
+		if st.StepTime > 0 {
+			pt.Speedup = float64(p) * base.StepTime / st.StepTime
+			pt.CommShare = st.Comm / st.StepTime
+		}
+		out = append(out, pt)
 	}
 	return out, nil
 }

@@ -27,6 +27,17 @@ type Worker struct {
 	Data   *tensor.Tensor
 	Labels *tensor.Tensor
 
+	// node/stream are the worker's simulated SW26010 (nil in HostMath
+	// mode): every forward/backward pass runs as a stream launch on it,
+	// charged with the modeled compute cost. lastEv is the pass
+	// launch of the current Step; its own simulated duration is the
+	// worker's per-step compute (reading it per-launch, rather than
+	// differencing the cumulative node timeline, keeps the makespan
+	// bit-identical to the priced cost at any iteration count).
+	node   *swnode.Node
+	stream *swnode.Stream
+	lastEv *swnode.Event
+
 	packBuf    []float32   // reused packed-gradient staging across Steps
 	bucketBufs [][]float32 // per-bucket staging for the overlapped trainer
 }
@@ -55,6 +66,18 @@ type DistConfig struct {
 	// Device prices the per-layer compute of the modeled step timeline
 	// (default one SW26010 core group).
 	Device perf.Device
+
+	// HostMath disables the per-worker simulated nodes: passes run as
+	// plain host goroutines and the compute leg of StepStats comes from
+	// the priced timeline alone (the pre-cluster-runtime behavior).
+	// The default (false) gives every worker its own swnode.Node, so
+	// each pass executes as a stream launch on a simulated CoreGroup
+	// and the StepStats compute leg is read off the node timelines.
+	// Parameters are bit-identical either way (the test suite pins it);
+	// HostMath exists for huge throwaway sweeps where spinning up N CPE
+	// worker pools is not worth it. Node-backed trainers own goroutine
+	// pools: call Close when done.
+	HostMath bool
 }
 
 // DefaultBucketBytes is the overlapped trainer's bucket cap: large
@@ -63,16 +86,23 @@ type DistConfig struct {
 const DefaultBucketBytes = 4 << 20
 
 // DistTrainer drives Algorithm 1 across simulated nodes: every
-// iteration each worker computes gradients on its own shard, the
+// iteration each worker computes gradients on its own shard — as
+// stream launches on the worker's own swnode.Node, so the cluster
+// experiments execute functionally on N simulated SW26010s — the
 // packed gradients are all-reduced over the simulated interconnect,
 // averaged, and applied identically everywhere.
 type DistTrainer struct {
 	cfg     DistConfig
 	Workers []*Worker
 	cluster *simnet.Cluster
+	nodes   *swnode.Cluster // nil in HostMath mode
 
 	// CommTime accumulates simulated all-reduce time.
 	CommTime float64
+	// ComputeTime accumulates the modeled per-step compute makespan
+	// (max over the workers' node timelines; priced timeline in
+	// HostMath mode — the two agree by construction).
+	ComputeTime float64
 	// ExposedCommTime accumulates only the communication that was not
 	// hidden behind backward compute on the modeled timeline (equals
 	// CommTime for the barrier trainer).
@@ -81,10 +111,35 @@ type DistTrainer struct {
 	LastStep StepStats
 	iter     int
 
-	// Modeled per-layer timeline (lazily built from cfg.Device).
+	// Modeled per-layer timeline (lazily built from cfg.Device). The
+	// same priced costs drive both views of compute: layerDone feeds
+	// the overlap overlay, and each node pass-launch is charged exactly
+	// computeEnd, so the node timelines and the priced timeline agree
+	// bit for bit.
 	layerDone  []float64 // layerDone[li]: modeled completion of layer li's backward
 	computeEnd float64   // modeled forward + full backward time
 	buckets    []gradBucket
+
+	// Reused per-Step staging (both paths must stay allocation-free at
+	// steady state; the DistStep -benchmem benches pin this).
+	losses  []float32
+	packed  [][]float32 // barrier: per-rank packed gradients
+	reduced [][]float32 // barrier: per-rank reduced output
+
+	ovReady     []chan struct{} // cap-1 flush signal per bucket, reused
+	ovCounts    []int32         // per-bucket arrival counts, reset per Step
+	ovPacked    [][]float32     // per-rank view of one bucket's staging
+	ovReduced   [][][]float32   // [bucket][rank] reduced outputs
+	ovCommTimes []float64       // per-bucket collective makespans
+
+	// commDirty is set when a collective panicked out of a Step. simnet
+	// does not join ranks stranded by a peer's failure, and those ranks
+	// still hold references into the reused input staging (packed views
+	// and the gradient buffers behind them) — so the next Step must
+	// re-allocate that staging and orphan the old buffers to them
+	// instead of racing them. Failure-path-only; the hot path stays
+	// allocation-free.
+	commDirty bool
 }
 
 // StepStats is the modeled time decomposition of one Step of the
@@ -114,6 +169,9 @@ func NewDistTrainer(cfg DistConfig, buildNet func() (*core.Net, map[string]*tens
 	}
 	t := &DistTrainer{cfg: cfg, cluster: simnet.NewCluster(cfg.Network, cfg.Mapping, cfg.Nodes)}
 	t.cluster.ReduceOnCPE = true
+	if !cfg.HostMath {
+		t.nodes = swnode.NewCluster(cfg.Nodes, nil)
+	}
 	for r := 0; r < cfg.Nodes; r++ {
 		net, inputs, err := buildNet()
 		if err != nil {
@@ -125,74 +183,247 @@ func NewDistTrainer(cfg DistConfig, buildNet func() (*core.Net, map[string]*tens
 			Data:   inputs["data"],
 			Labels: inputs["label"],
 		}
+		if t.nodes != nil {
+			// One pass at a time per worker: the node's 4-CG decomposition
+			// is collapsed into one functional pass (Algorithm 1 lines
+			// 3-8), launched on a stream pinned to CG0.
+			w.node = t.nodes.Node(r)
+			w.stream = w.node.PinnedStream(0)
+		}
 		t.Workers = append(t.Workers, w)
 	}
+	t.losses = make([]float32, cfg.Nodes)
 	return t, nil
 }
 
 // Iter returns the number of completed iterations.
 func (t *DistTrainer) Iter() int { return t.iter }
 
+// Node returns worker rank's simulated node (nil in HostMath mode) for
+// stats and stream access.
+func (t *DistTrainer) Node(rank int) *swnode.Node {
+	if t.nodes == nil {
+		return nil
+	}
+	return t.nodes.Node(rank)
+}
+
+// NodeStats sums the simulated activity across every worker's node
+// (zero in HostMath mode).
+func (t *DistTrainer) NodeStats() sw26010.Stats {
+	if t.nodes == nil {
+		return sw26010.Stats{}
+	}
+	return t.nodes.Stats()
+}
+
+// Close drains the workers' simulated nodes and stops their CPE worker
+// pools. The trainer must not be used after Close. A no-op in HostMath
+// mode, so callers can always defer it.
+func (t *DistTrainer) Close() {
+	if t.nodes != nil {
+		t.nodes.Close()
+	}
+}
+
+// launchPasses starts pass for every worker concurrently — as one
+// stream launch per worker on its simulated node, or as plain host
+// goroutines in HostMath mode — and returns a join function plus a
+// failure channel. pass receives tick, which charges modeled seconds
+// to the worker's CPE clock (a no-op on the host path, where the
+// priced timeline stands in). The caller may overlap work between
+// launch and join; node-mode completion ordering is the usual
+// stream/event happens-before.
+//
+// failed matters to callers that block on signals a pass produces
+// mid-flight (the overlap flush loop): a node-mode kernel panic is
+// recovered into its Event, so a poisoned worker goes quiet instead
+// of crashing — without a side channel the caller would wait forever
+// on a signal that never comes. failed delivers the first pass panic
+// after every pass has quiesced (healthy workers never block on the
+// cap-1 bucket signals, so quiescence is guaranteed). It is nil when
+// watch is false (callers that join immediately, like the barrier
+// path, get their panic from join) and in HostMath mode, where a pass
+// panic crashes the process directly.
+func (t *DistTrainer) launchPasses(watch bool, pass func(i int, w *Worker, tick func(float64))) (join func(), failed <-chan any) {
+	if t.nodes != nil {
+		// Recovery bookkeeping, a no-op on the healthy path: a failed
+		// launch poisons its stream's future launches, so continue
+		// poisoned workers on a fresh stream — a recovered trainer must
+		// not silently skip their passes.
+		for _, w := range t.Workers {
+			if w.stream.Poisoned() {
+				w.stream = w.node.PinnedStream(0)
+			}
+		}
+		for i, w := range t.Workers {
+			i, w := i, w
+			w.lastEv = w.stream.Launch(func(cg *sw26010.CoreGroup) float64 {
+				return cg.RunN(1, func(pe *sw26010.CPE) {
+					pass(i, w, pe.AdvanceClock)
+				})
+			})
+		}
+		var fc chan any
+		if watch {
+			// Snapshot the events: the watcher can outlive this Step, and
+			// the next Step overwrites each worker's lastEv.
+			events := make([]*swnode.Event, len(t.Workers))
+			for i, w := range t.Workers {
+				events[i] = w.lastEv
+			}
+			fc = make(chan any, 1)
+			go func() {
+				var first any
+				for _, e := range events {
+					func() {
+						defer func() {
+							if r := recover(); r != nil && first == nil {
+								first = r
+							}
+						}()
+						e.Wait()
+					}()
+				}
+				if first != nil {
+					fc <- first
+				}
+			}()
+		}
+		return t.nodes.Sync, fc
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(t.Workers))
+	for i, w := range t.Workers {
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			pass(i, w, func(float64) {})
+		}(i, w)
+	}
+	return wg.Wait, nil
+}
+
+// stepCompute closes out the compute leg of one Step: the maximum of
+// the pass launches' own simulated durations across workers. Each
+// launch is charged exactly the priced pass cost in one clock tick,
+// so this equals computeEnd bit for bit at any iteration count —
+// differencing the cumulative node timeline instead would shed
+// floating-point bits as the timeline grows. Call after join.
+func (t *DistTrainer) stepCompute() float64 {
+	if t.nodes == nil {
+		return t.computeEnd
+	}
+	var max float64
+	for _, w := range t.Workers {
+		if d := w.lastEv.Wait(); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
 // Step runs one synchronous iteration over the shards loaded into each
 // worker's Data/Labels tensors and returns the mean loss across
 // workers. With cfg.Overlap it runs the bucketed pipeline; otherwise
 // the strict pack → reduce → unpack barrier.
 func (t *DistTrainer) Step() float32 {
+	if t.commDirty {
+		t.resetCommStaging()
+	}
 	if t.cfg.Overlap {
 		return t.stepOverlap()
 	}
 	return t.stepBarrier()
 }
 
+// resetCommStaging re-allocates every buffer a rank goroutine stranded
+// by a failed collective might still read, leaving the old buffers to
+// the stragglers (see commDirty).
+func (t *DistTrainer) resetCommStaging() {
+	t.commDirty = false
+	if t.packed != nil {
+		t.packed = make([][]float32, len(t.Workers))
+	}
+	for _, w := range t.Workers {
+		w.packBuf = nil
+	}
+	if t.buckets != nil {
+		t.ovPacked = make([][]float32, len(t.Workers))
+		for _, w := range t.Workers {
+			w.bucketBufs = make([][]float32, len(t.buckets))
+			for b, bk := range t.buckets {
+				w.bucketBufs[b] = make([]float32, bk.elems)
+			}
+		}
+	}
+}
+
 func (t *DistTrainer) stepBarrier() float32 {
 	t.ensureTimeline()
-	var wg sync.WaitGroup
-	losses := make([]float32, len(t.Workers))
-	// Local forward/backward (the 4-CG compute of Algorithm 1 lines
-	// 3-8 collapses to one functional pass per node here).
-	wg.Add(len(t.Workers))
-	for i, w := range t.Workers {
-		go func(i int, w *Worker) {
-			defer wg.Done()
-			w.Net.ZeroParamDiffs()
-			losses[i] = w.Net.Forward(core.Train)
-			w.Net.Backward(core.Train)
-		}(i, w)
+	nw := len(t.Workers)
+	if t.packed == nil {
+		t.packed = make([][]float32, nw)
+		t.reduced = make([][]float32, nw)
 	}
-	wg.Wait()
+	losses := t.losses
+	// Local forward/backward (the 4-CG compute of Algorithm 1 lines
+	// 3-8 collapses to one functional pass per node), one launch per
+	// worker on its simulated node.
+	join, _ := t.launchPasses(false, func(i int, w *Worker, tick func(float64)) {
+		w.Net.ZeroParamDiffs()
+		losses[i] = w.Net.Forward(core.Train)
+		w.Net.Backward(core.Train)
+		tick(t.computeEnd)
+	})
+	join()
+	compute := t.stepCompute()
 
 	// Pack, all-reduce, average (Algorithm 1 line 9).
-	packed := make([][]float32, len(t.Workers))
+	packed := t.packed
 	for i, w := range t.Workers {
 		w.packBuf = w.Net.PackGradients(w.packBuf)
 		packed[i] = w.packBuf
 	}
-	var mu sync.Mutex
-	reduced := make([][]float32, len(t.Workers))
-	res := t.cluster.Run(func(n *simnet.Node) {
-		out := t.cfg.Algorithm(n, packed[n.Rank])
-		n.ChargeReduce(len(out)) // final averaging sweep on the CPEs
-		mu.Lock()
-		reduced[n.Rank] = out
-		mu.Unlock()
-	})
+	// The per-rank outputs come back through the run's private storage
+	// (see RunGather): copying them into the reused staging only on the
+	// clean path keeps a rank stranded by a failed collective from ever
+	// writing into a recovered trainer's next Step. A failure marks the
+	// input staging dirty for the same reason, mirror-image: stranded
+	// ranks may still be reading it.
+	reduced := t.reduced
+	res, outs := func() (simnet.Result, [][]float32) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.commDirty = true
+				panic(r)
+			}
+		}()
+		return t.cluster.RunGather(func(n *simnet.Node) []float32 {
+			out := t.cfg.Algorithm(n, packed[n.Rank])
+			n.ChargeReduce(len(out)) // final averaging sweep on the CPEs
+			return out
+		})
+	}()
+	copy(reduced, outs)
 	t.CommTime += res.Time
 
 	// Average and update every replica identically (line 10).
 	for i, w := range t.Workers {
-		allreduce.Scale(reduced[i], len(t.Workers))
+		allreduce.Scale(reduced[i], nw)
 		w.Net.UnpackGradients(reduced[i])
 		w.Solver.ApplyUpdate()
 	}
 	t.iter++
 
-	// Barrier timeline: the whole all-reduce is exposed after backward.
+	// Barrier timeline: the per-node modeled compute makespans barrier,
+	// then the whole all-reduce is exposed.
 	t.LastStep = StepStats{
-		Compute:  t.computeEnd,
+		Compute:  compute,
 		Comm:     res.Time,
 		Exposed:  res.Time,
-		StepTime: t.computeEnd + res.Time,
+		StepTime: compute + res.Time,
 	}
+	t.ComputeTime += compute
 	t.ExposedCommTime += res.Time
 
 	var mean float32

@@ -2,10 +2,14 @@ package train
 
 import (
 	"math/rand"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"swcaffe/internal/allreduce"
 	"swcaffe/internal/core"
 	"swcaffe/internal/dataset"
+	"swcaffe/internal/simnet"
 	"swcaffe/internal/tensor"
 )
 
@@ -46,6 +50,7 @@ func TestDistributedEqualsSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer dist.Close()
 	serialNet, serialIn, err := mlpFactory(nodes*subBatch, classes)()
 	if err != nil {
 		t.Fatal(err)
@@ -89,6 +94,7 @@ func TestDistributedConverges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer dist.Close()
 	dist.LoadShards(ds, 0)
 	first := dist.Step()
 	var last float32
@@ -118,6 +124,7 @@ func TestDistributedNonPowerOfTwoNodes(t *testing.T) {
 		if d := dist.ParamsDiverged(); d != 0 {
 			t.Fatalf("nodes=%d: replicas diverged by %g", nodes, d)
 		}
+		dist.Close()
 	}
 }
 
@@ -169,11 +176,13 @@ func TestOverlapBitIdenticalToBarrier(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		defer barrier.Close()
 		overlap, err := NewDistTrainer(DistConfig{Nodes: nodes, SubBatch: 8, Solver: cfg,
 			Overlap: true, BucketBytes: 8 << 10}, deepFactory(8, classes))
 		if err != nil {
 			t.Fatal(err)
 		}
+		defer overlap.Close()
 		for it := 0; it < 8; it++ {
 			barrier.LoadShards(ds, it)
 			overlap.LoadShards(ds, it)
@@ -215,6 +224,8 @@ func TestOverlapReducesModeledStepTime(t *testing.T) {
 		return d
 	}
 	barrier, overlap := mk(false), mk(true)
+	defer barrier.Close()
+	defer overlap.Close()
 	barrier.LoadShards(ds, 0)
 	overlap.LoadShards(ds, 0)
 	barrier.Step()
@@ -236,6 +247,290 @@ func TestOverlapReducesModeledStepTime(t *testing.T) {
 	if overlap.ExposedCommTime >= barrier.ExposedCommTime {
 		t.Fatalf("accumulated exposed comm: overlap %g >= barrier %g",
 			overlap.ExposedCommTime, barrier.ExposedCommTime)
+	}
+}
+
+// TestClusterRuntimeBitIdenticalToHostMath is the golden for the
+// multi-node cluster runtime: running every worker's passes as stream
+// launches on its own simulated swnode.Node (the default) must produce
+// losses and parameters bit-identical to the host-math trainer
+// (HostMath: true, the pre-cluster-runtime execution), for both the
+// barrier and the bucketed-overlap paths, power-of-two and not. The
+// simulated nodes are execution machinery only. Run under -race by
+// `make race`, this doubles as the N-node concurrency check.
+func TestClusterRuntimeBitIdenticalToHostMath(t *testing.T) {
+	const classes = 3
+	ds := dataset.NewClusters(2000, classes, 1, 8, 8, 0.4, 31)
+	cfg := core.SolverConfig{BaseLR: 0.05, Momentum: 0.9}
+	for _, overlap := range []bool{false, true} {
+		for _, nodes := range []int{4, 3} {
+			mk := func(hostMath bool) *DistTrainer {
+				d, err := NewDistTrainer(DistConfig{Nodes: nodes, SubBatch: 8, Solver: cfg,
+					Overlap: overlap, BucketBytes: 8 << 10, HostMath: hostMath},
+					deepFactory(8, classes))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return d
+			}
+			sim, host := mk(false), mk(true)
+			// 20 iterations: long enough that differencing the cumulative
+			// node timeline (instead of reading each launch's own
+			// duration) would shed float bits and break StepStats
+			// equality around iteration 10.
+			for it := 0; it < 20; it++ {
+				sim.LoadShards(ds, it)
+				host.LoadShards(ds, it)
+				ls, lh := sim.Step(), host.Step()
+				if ls != lh {
+					t.Fatalf("overlap=%v nodes=%d iter %d: loss %v != host-math loss %v",
+						overlap, nodes, it, ls, lh)
+				}
+				// The modeled decompositions must agree too: the node
+				// timelines advance by exactly the priced per-layer costs.
+				if sim.LastStep != host.LastStep {
+					t.Fatalf("overlap=%v nodes=%d iter %d: StepStats %+v != host-math %+v",
+						overlap, nodes, it, sim.LastStep, host.LastStep)
+				}
+			}
+			for r := 0; r < nodes; r++ {
+				sp := sim.Workers[r].Net.LearnableParams()
+				hp := host.Workers[r].Net.LearnableParams()
+				for i := range sp {
+					if d := tensor.MaxDiff(sp[i].Data, hp[i].Data); d != 0 {
+						t.Fatalf("overlap=%v nodes=%d rank %d param %d: cluster runtime deviates by %g (must be bit-identical)",
+							overlap, nodes, r, i, d)
+					}
+				}
+			}
+			// The passes really ran on the simulated nodes: every worker
+			// has a node timeline and the trainer accumulated compute.
+			if sim.ComputeTime <= 0 {
+				t.Fatal("no modeled compute accumulated on the cluster runtime")
+			}
+			for r := 0; r < nodes; r++ {
+				nd := sim.Node(r)
+				if nd == nil || nd.Launches() == 0 {
+					t.Fatalf("rank %d: no launches on its simulated node", r)
+				}
+				if nd.SimTime() <= 0 {
+					t.Fatalf("rank %d: empty node timeline", r)
+				}
+			}
+			if host.Node(0) != nil {
+				t.Fatal("HostMath trainer should have no simulated nodes")
+			}
+			sim.Close()
+			host.Close()
+		}
+	}
+}
+
+// TestOverlapPassPanicPropagates: on the node-backed overlap trainer a
+// worker-pass panic is recovered into its launch Event, so the failed
+// worker goes quiet instead of crashing the process — the flush loop
+// must surface the failure instead of waiting forever on a bucket
+// signal the poisoned worker can no longer send.
+func TestOverlapPassPanicPropagates(t *testing.T) {
+	const classes = 3
+	ds := dataset.NewClusters(500, classes, 1, 8, 8, 0.4, 33)
+	d, err := NewDistTrainer(DistConfig{Nodes: 3, SubBatch: 8,
+		Solver:  core.SolverConfig{BaseLR: 0.05},
+		Overlap: true, BucketBytes: 8 << 10}, deepFactory(8, classes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	d.LoadShards(ds, 0)
+	d.Step() // healthy warmup
+
+	d.LoadShards(ds, 1)
+	d.Workers[1].Labels.Data[0] = 9999 // poison: loss layer panics on rank 1's pass
+	stepErr := make(chan any, 1)
+	go func() {
+		defer func() { stepErr <- recover() }()
+		d.Step()
+	}()
+	select {
+	case r := <-stepErr:
+		if r == nil {
+			t.Fatal("poisoned Step returned instead of panicking")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("poisoned Step hung instead of re-raising the pass panic")
+	}
+
+	// Recover-and-reuse: with the fault removed, the same trainer must
+	// run clean steps again (no stale bucket tokens, node poison or
+	// timeline skew from the failed Step), tracking a fresh host-math
+	// twin bit for bit.
+	twin, err := NewDistTrainer(DistConfig{Nodes: 3, SubBatch: 8,
+		Solver:  core.SolverConfig{BaseLR: 0.05},
+		Overlap: true, BucketBytes: 8 << 10, HostMath: true}, deepFactory(8, classes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer twin.Close()
+	// Replay the healthy prefix on the twin so parameters align.
+	twin.LoadShards(ds, 0)
+	twin.Step()
+	for it := 2; it < 5; it++ {
+		d.LoadShards(ds, it)
+		twin.LoadShards(ds, it)
+		ld, lt := d.Step(), twin.Step()
+		if ld != lt {
+			t.Fatalf("iter %d after recovery: loss %v != twin %v", it, ld, lt)
+		}
+		if d.LastStep.Compute != twin.LastStep.Compute {
+			t.Fatalf("iter %d after recovery: modeled compute %g != twin %g (stale timeline)",
+				it, d.LastStep.Compute, twin.LastStep.Compute)
+		}
+	}
+	if div := d.ParamsDiverged(); div != 0 {
+		t.Fatalf("replicas diverged by %g after recovery", div)
+	}
+	p, q := d.Workers[0].Net.LearnableParams(), twin.Workers[0].Net.LearnableParams()
+	for i := range p {
+		if diff := tensor.MaxDiff(p[i].Data, q[i].Data); diff != 0 {
+			t.Fatalf("param %d deviates by %g from the twin after recovery", i, diff)
+		}
+	}
+}
+
+// TestOverlapCollectivePanicQuiescesPasses: if the collective itself
+// panics mid-flush (an Algorithm bug, or an injected simnet rank
+// fault) while workers are still mid-backward, Step must quiesce the
+// in-flight pass launches before re-raising — otherwise a caller that
+// recovers and Steps again races the stale passes on the reused
+// bucket staging. Run under -race by `make race`.
+func TestOverlapCollectivePanicQuiescesPasses(t *testing.T) {
+	const classes = 3
+	ds := dataset.NewClusters(500, classes, 1, 8, 8, 0.4, 34)
+	var poison atomic.Bool
+	alg := func(n *simnet.Node, data []float32) []float32 {
+		if poison.Load() {
+			panic("injected collective fault")
+		}
+		return allreduce.RecursiveHalvingDoubling(n, data)
+	}
+	d, err := NewDistTrainer(DistConfig{Nodes: 3, SubBatch: 8,
+		Solver:    core.SolverConfig{BaseLR: 0.05},
+		Algorithm: alg, Overlap: true, BucketBytes: 8 << 10}, deepFactory(8, classes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	d.LoadShards(ds, 0)
+	d.Step() // healthy warmup
+
+	poison.Store(true)
+	d.LoadShards(ds, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("collective fault was not re-raised from Step")
+			}
+		}()
+		d.Step()
+	}()
+	poison.Store(false)
+
+	// Recover-and-reuse against a host-math twin, bit for bit.
+	twin, err := NewDistTrainer(DistConfig{Nodes: 3, SubBatch: 8,
+		Solver:  core.SolverConfig{BaseLR: 0.05},
+		Overlap: true, BucketBytes: 8 << 10, HostMath: true}, deepFactory(8, classes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer twin.Close()
+	twin.LoadShards(ds, 0)
+	twin.Step()
+	for it := 2; it < 5; it++ {
+		d.LoadShards(ds, it)
+		twin.LoadShards(ds, it)
+		if ld, lt := d.Step(), twin.Step(); ld != lt {
+			t.Fatalf("iter %d after recovery: loss %v != twin %v", it, ld, lt)
+		}
+	}
+	if div := d.ParamsDiverged(); div != 0 {
+		t.Fatalf("replicas diverged by %g after recovery", div)
+	}
+	p, q := d.Workers[0].Net.LearnableParams(), twin.Workers[0].Net.LearnableParams()
+	for i := range p {
+		if diff := tensor.MaxDiff(p[i].Data, q[i].Data); diff != 0 {
+			t.Fatalf("param %d deviates by %g from the twin after recovery", i, diff)
+		}
+	}
+}
+
+// TestBarrierLateRankPanicDoesNotCorruptRecoveredTrainer: a rank that
+// panics after its communication finished leaves its peers alive past
+// the re-raise (simnet.Run does not join them); their late result
+// stores must land in the failed run's private storage — never in the
+// reused staging a recovered trainer's next Step reads (RunGather).
+// Run under -race by `make race`.
+func TestBarrierLateRankPanicDoesNotCorruptRecoveredTrainer(t *testing.T) {
+	const classes = 3
+	ds := dataset.NewClusters(500, classes, 1, 8, 8, 0.4, 35)
+	var poison atomic.Bool
+	alg := func(n *simnet.Node, data []float32) []float32 {
+		out := allreduce.RecursiveHalvingDoubling(n, data)
+		if poison.Load() {
+			if n.Rank == 0 {
+				panic("late rank fault") // after all communication completed
+			}
+			time.Sleep(30 * time.Millisecond) // peers outlive the re-raise
+		}
+		return out
+	}
+	d, err := NewDistTrainer(DistConfig{Nodes: 3, SubBatch: 8,
+		Solver:    core.SolverConfig{BaseLR: 0.05},
+		Algorithm: alg}, deepFactory(8, classes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	d.LoadShards(ds, 0)
+	d.Step() // healthy warmup
+
+	poison.Store(true)
+	d.LoadShards(ds, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("late rank fault was not re-raised from Step")
+			}
+		}()
+		d.Step()
+	}()
+	poison.Store(false)
+
+	// Step again immediately: the stranded ranks from the failed
+	// collective are still sleeping and will store their results while
+	// these steps run. Compare against a host-math twin bit for bit.
+	twin, err := NewDistTrainer(DistConfig{Nodes: 3, SubBatch: 8,
+		Solver: core.SolverConfig{BaseLR: 0.05}, HostMath: true}, deepFactory(8, classes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer twin.Close()
+	twin.LoadShards(ds, 0)
+	twin.Step()
+	for it := 2; it < 5; it++ {
+		d.LoadShards(ds, it)
+		twin.LoadShards(ds, it)
+		if ld, lt := d.Step(), twin.Step(); ld != lt {
+			t.Fatalf("iter %d after recovery: loss %v != twin %v", it, ld, lt)
+		}
+	}
+	if div := d.ParamsDiverged(); div != 0 {
+		t.Fatalf("replicas diverged by %g after recovery", div)
+	}
+	p, q := d.Workers[0].Net.LearnableParams(), twin.Workers[0].Net.LearnableParams()
+	for i := range p {
+		if diff := tensor.MaxDiff(p[i].Data, q[i].Data); diff != 0 {
+			t.Fatalf("param %d deviates by %g from the twin after recovery", i, diff)
+		}
 	}
 }
 
@@ -485,6 +780,7 @@ func TestRandomShardsKeepReplicasConsistent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer dist.Close()
 	rng := rand.New(rand.NewSource(16))
 	for it := 0; it < 10; it++ {
 		for _, w := range dist.Workers {

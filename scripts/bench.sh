@@ -2,18 +2,19 @@
 # bench.sh — benchmark regression harness. Runs the key simulator /
 # planner / trainer benchmarks with -benchmem, runs the simulated-time
 # invariance test, and writes the results as JSON (default
-# BENCH_PR2.json) extending the perf trajectory that future PRs are
-# judged against. PR 2 adds the solver update loop, the allreduce
-# pack/scale paths and the barrier-vs-overlap distributed step (whose
-# modeled-us/step metric demonstrates the communication overlap win).
+# BENCH_PR3.json) extending the perf trajectory that future PRs are
+# judged against. PR 3 adds the multi-node cluster runtime: the
+# DistStep benches now run every worker's passes on its own simulated
+# swnode.Node, with HostMath variants isolating the node-timeline
+# overhead (modeled-us/step must be identical between the pairs).
 #
 # Usage: scripts/bench.sh [output.json] [benchtime]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR2.json}"
+OUT="${1:-BENCH_PR3.json}"
 BENCHTIME="${2:-1s}"
-PATTERN='^(BenchmarkSimGEMM64|BenchmarkSimGEMM128|BenchmarkSimGEMMRagged|BenchmarkSimConvExplicit|BenchmarkConvPlanSelection|BenchmarkGEMMPlanWarm|BenchmarkGEMMPlanCold|BenchmarkTable2|BenchmarkSolverUpdate|BenchmarkAllreducePack|BenchmarkAllreduceScale|BenchmarkDistStepBarrier|BenchmarkDistStepOverlap|BenchmarkCGTrainerStep)$'
+PATTERN='^(BenchmarkSimGEMM64|BenchmarkSimGEMM128|BenchmarkSimGEMMRagged|BenchmarkSimConvExplicit|BenchmarkConvPlanSelection|BenchmarkGEMMPlanWarm|BenchmarkGEMMPlanCold|BenchmarkTable2|BenchmarkSolverUpdate|BenchmarkAllreducePack|BenchmarkAllreduceScale|BenchmarkDistStepBarrier|BenchmarkDistStepOverlap|BenchmarkDistStepBarrierHostMath|BenchmarkDistStepOverlapHostMath|BenchmarkCGTrainerStep)$'
 
 echo "== running invariance check (simulated times must match golden) =="
 if go test ./internal/swdnn/ -run 'TestEngineInvariance|TestEngineDeterminism' -count=1 >/dev/null 2>&1; then
@@ -46,7 +47,7 @@ echo "$RAW" | awk -v invariance="$INVARIANCE" -v date="$(date -u +%Y-%m-%dT%H:%M
 }
 END {
     printf "{\n"
-    printf "  \"pr\": 2,\n"
+    printf "  \"pr\": 3,\n"
     printf "  \"date\": \"%s\",\n", date
     printf "  \"invariance\": \"%s\",\n", invariance
     printf "  \"benchmarks\": {\n"
@@ -60,11 +61,10 @@ END {
         printf "}%s\n", (i < n-1 ? "," : "")
     }
     printf "  },\n"
-    printf "  \"pr1_reference\": {\n"
-    printf "    \"comment\": \"PR-1 engine, pre-swnode; seed (pre-overhaul) numbers live in BENCH_PR1.json\",\n"
-    printf "    \"BenchmarkSolverUpdate\": {\"allocs_op\": 10, \"comment\": \"before Net param-slice caching\"},\n"
-    printf "    \"BenchmarkAllreducePack\": {\"allocs_op\": 20, \"comment\": \"before Net param-slice caching\"},\n"
-    printf "    \"BenchmarkDistStep\": {\"comment\": \"barrier only; overlap did not exist\"}\n"
+    printf "  \"pr2_reference\": {\n"
+    printf "    \"comment\": \"PR-2 numbers live in BENCH_PR2.json; DistStep there ran host math with a priced timeline\",\n"
+    printf "    \"BenchmarkDistStepBarrier\": {\"allocs_op\": 209, \"modeled_us_step\": 676.8},\n"
+    printf "    \"BenchmarkDistStepOverlap\": {\"allocs_op\": 270, \"modeled_us_step\": 636.7}\n"
     printf "  }\n"
     printf "}\n"
 }' > "$OUT"
