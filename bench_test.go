@@ -297,16 +297,14 @@ func BenchmarkAllreduceScale(b *testing.B) {
 // multi-layer net. Besides host cost, each reports the modeled
 // iteration time, which the overlapped pipeline must reduce.
 
-func benchDistTrainer(b *testing.B, overlap, hostMath bool) {
+func benchDistTrainer(b *testing.B, cfg train.DistConfig) {
 	build := func() (*core.Net, map[string]*tensor.Tensor, error) {
 		net, inputs := benchNet(8)
 		return net, inputs, nil
 	}
-	d, err := train.NewDistTrainer(train.DistConfig{
-		Nodes: 4, SubBatch: 8,
-		Solver:  core.SolverConfig{BaseLR: 0.01, Momentum: 0.9},
-		Overlap: overlap, BucketBytes: 8 << 10, HostMath: hostMath,
-	}, build)
+	cfg.Nodes, cfg.SubBatch = 4, 8
+	cfg.Solver = core.SolverConfig{BaseLR: 0.01, Momentum: 0.9}
+	d, err := train.NewDistTrainer(cfg, build)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -327,13 +325,52 @@ func benchDistTrainer(b *testing.B, overlap, hostMath bool) {
 // execute as stream launches on its own simulated swnode.Node. The
 // HostMath variants run the same numerics as plain goroutines — the
 // host-side overhead delta is the price of the modeled node timelines.
-func BenchmarkDistStepBarrier(b *testing.B) { benchDistTrainer(b, false, false) }
+func BenchmarkDistStepBarrier(b *testing.B) { benchDistTrainer(b, train.DistConfig{}) }
 
-func BenchmarkDistStepOverlap(b *testing.B) { benchDistTrainer(b, true, false) }
+func BenchmarkDistStepOverlap(b *testing.B) {
+	benchDistTrainer(b, train.DistConfig{Overlap: true, BucketBytes: 8 << 10})
+}
 
-func BenchmarkDistStepBarrierHostMath(b *testing.B) { benchDistTrainer(b, false, true) }
+func BenchmarkDistStepBarrierHostMath(b *testing.B) {
+	benchDistTrainer(b, train.DistConfig{HostMath: true})
+}
 
-func BenchmarkDistStepOverlapHostMath(b *testing.B) { benchDistTrainer(b, true, true) }
+func BenchmarkDistStepOverlapHostMath(b *testing.B) {
+	benchDistTrainer(b, train.DistConfig{Overlap: true, BucketBytes: 8 << 10, HostMath: true})
+}
+
+// Collective-engine variants: ring vs RHD × fixed DefaultBucketBytes
+// vs α-β auto-selected buckets. The acceptance bar of the engine PR is
+// that the Auto variants report lower modeled exposed comm than their
+// FixedDefault counterparts (for this small net the 4 MB default
+// degenerates to a single barrier-shaped bucket).
+func BenchmarkDistStepOverlapFixedDefault(b *testing.B) {
+	benchDistTrainer(b, train.DistConfig{Overlap: true})
+}
+
+func BenchmarkDistStepOverlapAuto(b *testing.B) {
+	benchDistTrainer(b, train.DistConfig{Overlap: true, AutoBucket: true})
+}
+
+func BenchmarkDistStepBarrierRing(b *testing.B) {
+	benchDistTrainer(b, train.DistConfig{AlgorithmName: allreduce.NameRing})
+}
+
+func BenchmarkDistStepOverlapRingFixedDefault(b *testing.B) {
+	benchDistTrainer(b, train.DistConfig{Overlap: true, AlgorithmName: allreduce.NameRing})
+}
+
+func BenchmarkDistStepOverlapRingAuto(b *testing.B) {
+	benchDistTrainer(b, train.DistConfig{Overlap: true, AlgorithmName: allreduce.NameRing, AutoBucket: true})
+}
+
+// BenchmarkDistStepOverlapTimeline measures the timeline-only node
+// mode (no CPE pools) against BenchmarkDistStepOverlap's pooled nodes:
+// identical numerics and modeled metrics, lower host cost — the mode
+// the p-in-the-hundreds functional sweep runs on.
+func BenchmarkDistStepOverlapTimeline(b *testing.B) {
+	benchDistTrainer(b, train.DistConfig{Overlap: true, BucketBytes: 8 << 10, Timeline: true})
+}
 
 // BenchmarkCGTrainerStep measures one Algorithm-1 iteration on the
 // four simulated CoreGroups of a swnode.Node (quarter-batch passes +

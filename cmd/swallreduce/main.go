@@ -1,7 +1,8 @@
 // Command swallreduce explores the gradient-synchronization
 // collectives: it verifies correctness on real payloads, reproduces
-// the Fig. 7 topology-aware comparison, and sweeps algorithms across
-// node counts and message sizes.
+// the Fig. 7 topology-aware comparison, sweeps algorithms across node
+// counts and message sizes, and reports the collective engine's
+// auto-bucket choice for overlapping each algorithm with backward.
 package main
 
 import (
@@ -10,10 +11,46 @@ import (
 	"os"
 
 	"swcaffe/internal/allreduce"
+	"swcaffe/internal/collective"
 	"swcaffe/internal/experiments"
 	"swcaffe/internal/simnet"
 	"swcaffe/internal/topology"
 )
+
+// bucketAdvisory prints, per algorithm, the bucket cap the α-β
+// selector would choose for overlapping a gradient of the given size
+// with backward (see collective.SelectBucketBytes and the formula at
+// allreduce.CostByName). The layer histogram is synthetic — 16 equal
+// layers whose backward spans twice the packed improved-RHD time — so
+// the table is a tuning aid, not a model-specific decision; swtrain
+// -auto-bucket makes the real per-model choice.
+func bucketAdvisory(p int, nBytes float64) {
+	const layers = 16
+	elems := int(nBytes/4) / layers
+	if elems < 1 {
+		elems = 1
+	}
+	params := make([]collective.ParamInfo, layers)
+	for i := range params {
+		params[i] = collective.ParamInfo{Layer: i, Elems: elems}
+	}
+	netw := topology.Sunway()
+	backward := 2 * allreduce.ImprovedRHDCost(netw, p, nBytes, true).Total()
+	done := make([]float64, layers)
+	for l := 0; l < layers; l++ {
+		done[l] = backward * float64(layers-l) / layers
+	}
+	fmt.Printf("\n=== auto-bucket advisory: p=%d, %.4g bytes, backward window %.4fs ===\n", p, nBytes, backward)
+	for _, name := range []string{allreduce.NameRing, allreduce.NameBinomial, allreduce.NameRHD} {
+		strat, err := collective.StrategyFor(name, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		bytes, exposed := collective.SelectBucketBytes(strat, netw, p, true, params, layers, done, backward)
+		fmt.Printf("%-28s bucket %8d KB  est. exposed comm %.6fs\n", name, bytes>>10, exposed)
+	}
+}
 
 func main() {
 	nodes := flag.Int("nodes", 64, "simulated node count for the live run")
@@ -24,6 +61,7 @@ func main() {
 	experiments.Figure6(os.Stdout)
 	experiments.Figure7(os.Stdout, *bytes)
 	experiments.AllreduceAblation(os.Stdout)
+	bucketAdvisory(*nodes, *bytes)
 
 	fmt.Printf("\n=== live simulated run: %s, p=%d, %.4g bytes ===\n", *alg, *nodes, *bytes)
 	a, err := allreduce.ByName(*alg)

@@ -52,7 +52,10 @@ func main() {
 	cg4 := flag.Bool("cg4", false, "single-node Algorithm-1 trainer: quarter-batch passes on the 4 simulated CoreGroups of one swnode.Node (batch must divide by 4)")
 	overlap := flag.Bool("overlap", false, "multi-node: bucketed gradient flush overlapping the all-reduce with backward (vs the pack/reduce/unpack barrier)")
 	bucketKB := flag.Int("bucket-kb", 0, "overlap bucket size in KB (0 = default)")
+	autoBucket := flag.Bool("auto-bucket", false, "multi-node: let the collective engine pick the bucket size from the α-β cost model (overrides -bucket-kb)")
+	alg := flag.String("alg", "", "multi-node all-reduce: ring | binomial-tree | recursive-halving-doubling (default RHD; the engine keeps every choice bit-identical under -overlap)")
 	hostMath := flag.Bool("hostmath", false, "multi-node: run worker passes as host goroutines instead of launches on per-worker simulated swnode.Nodes (numerics identical; skips the node timelines)")
+	timeline := flag.Bool("timeline", false, "multi-node: timeline-only simulated nodes (no CPE pools) — identical numerics and StepStats, scales to hundreds of nodes")
 	flag.Parse()
 
 	ds := dataset.NewClusters(4096, *classes, 1, 8, 8, 0.35, 42)
@@ -142,7 +145,8 @@ func main() {
 
 	trainer, err := train.NewDistTrainer(train.DistConfig{
 		Nodes: *nodes, SubBatch: *batch, Solver: solverCfg,
-		Overlap: *overlap, BucketBytes: *bucketKB << 10, HostMath: *hostMath,
+		Overlap: *overlap, BucketBytes: *bucketKB << 10, AutoBucket: *autoBucket,
+		AlgorithmName: *alg, HostMath: *hostMath, Timeline: *timeline,
 	}, build)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -169,6 +173,14 @@ func main() {
 	}
 	fmt.Printf("replicas consistent across %d nodes [%s]; simulated all-reduce %.4fs, exposed %.4fs, last modeled step %.6fs\n",
 		*nodes, mode, trainer.CommTime, trainer.ExposedCommTime, trainer.LastStep.StepTime)
+	if eng := trainer.Engine(); eng != nil {
+		sel := "fixed"
+		if eng.Auto() {
+			sel = "α-β auto-selected"
+		}
+		fmt.Printf("collective engine: %s strategy, %s bucket cap %d KB, %d buckets over %d gradient elements\n",
+			eng.StrategyName(), sel, eng.BucketBytes()>>10, trainer.Buckets(), eng.TotalElems())
+	}
 	if !*hostMath {
 		fmt.Printf("cluster runtime: %d simulated nodes, modeled compute %.4fs, node-timeline frontier %.4fs, %d launches on rank 0\n",
 			*nodes, trainer.ComputeTime, trainer.Node(0).SimTime(), trainer.Node(0).Launches())

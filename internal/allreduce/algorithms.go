@@ -47,42 +47,100 @@ func ByName(name string) (Algorithm, error) {
 // around a logical ring. Its latency term is 2(p-1)α, which the paper
 // rejects for the high-latency Sunway network.
 func Ring(n *simnet.Node, data []float32) []float32 {
+	return RingSegment(n, data, 0, len(data))
+}
+
+// RingSegment runs the ring all-reduce restricted to the chunks of a
+// larger packed vector that the segment [lo, lo+len(data)) covers.
+// total is the packed vector's full length; the segment's bounds must
+// both lie on ChunkBounds(total, p) (the engine's chunk-aligned
+// bucketing guarantees this — RingSegment panics otherwise).
+//
+// Each chunk c of the full ring is reduced by a rotation that folds
+// rank values in the fixed order c, c+1, ..., c-1 (mod p) — an order
+// that depends on the chunk index, which is why the plain ring is not
+// element-uniform and naive bucketing breaks bit-identity. RingSegment
+// executes exactly the full ring's per-chunk schedule (step s: send
+// chunk (r-s) mod p, receive and reduce chunk (r-s-1) mod p), skipping
+// the steps whose chunk falls outside the segment. Every element is
+// therefore reduced with precisely the association order the one-shot
+// Ring over the whole packed vector would use, so flushing a gradient
+// bucket per segment is bit-identical to the barrier ring — the
+// primitive behind the collective engine's ring overlap. With
+// lo=0, total=len(data) the schedule degenerates to the classic ring.
+func RingSegment(n *simnet.Node, data []float32, lo, total int) []float32 {
 	p := n.P()
 	out := append([]float32(nil), data...)
 	if p == 1 {
 		return out
 	}
+	hi := lo + len(data)
+	bounds := chunkBounds(total, p)
+	// The whole-vector segment is all p chunks (including empty ones,
+	// which the classic ring still circulates); interior segments
+	// resolve their chunk range from the bounds.
+	c0, c1 := 0, p
+	if lo != 0 || hi != total {
+		c0 = chunkIndexAt(bounds, lo)
+		c1 = chunkIndexAt(bounds, hi)
+	}
+	inSeg := func(c int) bool { return c0 <= c && c < c1 }
+
 	r := n.Rank
 	next := (r + 1) % p
 	prev := (r - 1 + p) % p
-	bounds := chunkBounds(len(out), p)
 
 	// Reduce-scatter: in step s, send chunk (r-s) to the next rank and
-	// receive + reduce chunk (r-s-1) from the previous one.
+	// receive + reduce chunk (r-s-1) from the previous one — when the
+	// chunk belongs to this segment.
 	for s := 0; s < p-1; s++ {
 		sendIdx := ((r-s)%p + p) % p
 		recvIdx := ((r-s-1)%p + p) % p
-		lo, hi := bounds[sendIdx], bounds[sendIdx+1]
-		chunk := append([]float32(nil), out[lo:hi]...)
-		n.Send(next, chunk)
-		in := n.Recv(prev)
-		rlo := bounds[recvIdx]
-		for i, v := range in {
-			out[rlo+i] += v
+		if inSeg(sendIdx) {
+			slo, shi := bounds[sendIdx]-lo, bounds[sendIdx+1]-lo
+			chunk := append([]float32(nil), out[slo:shi]...)
+			n.Send(next, chunk)
 		}
-		n.ChargeReduce(len(in))
+		if inSeg(recvIdx) {
+			in := n.Recv(prev)
+			rlo := bounds[recvIdx] - lo
+			for i, v := range in {
+				out[rlo+i] += v
+			}
+			n.ChargeReduce(len(in))
+		}
 	}
 	// Allgather: circulate the finished chunks around the ring.
 	for s := 0; s < p-1; s++ {
 		sendIdx := ((r+1-s)%p + p) % p
 		recvIdx := ((r-s)%p + p) % p
-		lo, hi := bounds[sendIdx], bounds[sendIdx+1]
-		chunk := append([]float32(nil), out[lo:hi]...)
-		n.Send(next, chunk)
-		in := n.Recv(prev)
-		copy(out[bounds[recvIdx]:], in)
+		if inSeg(sendIdx) {
+			slo, shi := bounds[sendIdx]-lo, bounds[sendIdx+1]-lo
+			chunk := append([]float32(nil), out[slo:shi]...)
+			n.Send(next, chunk)
+		}
+		if inSeg(recvIdx) {
+			in := n.Recv(prev)
+			copy(out[bounds[recvIdx]-lo:], in)
+		}
 	}
 	return out
+}
+
+// chunkIndexAt returns the chunk index whose lower bound equals off,
+// panicking when off does not lie on a chunk boundary (a bucket that
+// was not chunk-aligned). Repeated bounds (empty chunks, total < p)
+// resolve to the first chunk starting at off.
+func chunkIndexAt(bounds []int, off int) int {
+	for c, b := range bounds {
+		if b == off {
+			return c
+		}
+		if b > off {
+			break
+		}
+	}
+	panic(fmt.Sprintf("allreduce: segment bound %d not on a chunk boundary %v", off, bounds))
 }
 
 func chunkBounds(n, p int) []int {
@@ -92,6 +150,12 @@ func chunkBounds(n, p int) []int {
 	}
 	return b
 }
+
+// ChunkBounds exposes the ring's chunk partition of an n-element
+// vector over p ranks: chunk i spans [b[i], b[i+1]). The collective
+// engine snaps ring bucket boundaries onto these bounds so each bucket
+// is a whole number of ring chunks (see RingSegment).
+func ChunkBounds(n, p int) []int { return chunkBounds(n, p) }
 
 // --- binomial tree -------------------------------------------------------
 

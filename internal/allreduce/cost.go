@@ -1,6 +1,7 @@
 package allreduce
 
 import (
+	"fmt"
 	"math"
 
 	"swcaffe/internal/topology"
@@ -11,6 +12,45 @@ import (
 // n the vector size in bytes. The reduction rate γ comes from the
 // network parameter set (MPE or CPE, the paper's Sec. V-A sum
 // optimization).
+
+// CostFunc is the closed-form α-β-γ estimate of one all-reduce
+// algorithm: seconds to reduce nBytes across p ranks.
+type CostFunc func(net *topology.Network, p int, nBytes float64, onCPE bool) Cost
+
+// CostByName returns the analytic cost model matching a named
+// algorithm (see ByName). The RHD entry is the improved (round-robin
+// mapping) variant, which is the trainer's default mapping.
+//
+// These models drive the collective engine's auto-bucket selector
+// (internal/collective): given the per-layer backward completion
+// times done[l] and a candidate bucket cap S, the selector partitions
+// the packed gradient into buckets b = 1..K of at most S bytes
+// (snapped to the algorithm's alignment), prices each flush with this
+// cost model, and composes the overlapped timeline
+//
+//	end[b] = max(end[b-1], done[layer(b)]) + Cost(p, bytes(b))
+//
+// exactly as the trainer's modeled overlay does. The selected cap is
+//
+//	S* = argmin_S max(0, end[K] − T_backward)
+//
+// — the bucket size minimizing the exposed (non-hidden) communication
+// estimate — with ties broken toward the larger cap, which needs fewer
+// collectives and therefore fewer α latencies. This replaces the fixed
+// DefaultBucketBytes heuristic: small nets get buckets small enough to
+// pipeline at all, huge nets avoid drowning in per-collective latency.
+func CostByName(name string) (CostFunc, error) {
+	switch name {
+	case NameRing:
+		return RingCost, nil
+	case NameBinomial:
+		return BinomialCost, nil
+	case NameRHD, "":
+		return ImprovedRHDCost, nil
+	default:
+		return nil, fmt.Errorf("allreduce: no cost model for algorithm %q", name)
+	}
+}
 
 // Cost is a decomposed collective time estimate.
 type Cost struct {

@@ -1,0 +1,469 @@
+package collective
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"swcaffe/internal/allreduce"
+	"swcaffe/internal/simnet"
+	"swcaffe/internal/topology"
+)
+
+// DefaultBucketBytes is the fixed bucket cap used when neither an
+// explicit cap nor auto-selection is configured: large enough to
+// amortize per-collective latency, small enough that several buckets
+// are in flight across a deep net's backward.
+const DefaultBucketBytes = 4 << 20
+
+// ParamInfo describes one learnable parameter of the packed gradient
+// vector: the forward index of the layer that produces its gradient
+// and its element count. Parameters appear in pack (layer) order.
+type ParamInfo struct {
+	Layer int
+	Elems int
+}
+
+// Bucket is one flush unit: the [Lo, Hi) element range of the packed
+// gradient vector, ready the moment ReadyLayer's backward completes
+// (backward produces the packed vector tail-first, so buckets are
+// contiguous suffix-extending ranges and flush in slice order).
+type Bucket struct {
+	Lo, Hi     int
+	ReadyLayer int
+}
+
+// Elems returns the bucket's element count.
+func (b Bucket) Elems() int { return b.Hi - b.Lo }
+
+// Config parameterizes an Engine.
+type Config struct {
+	Params []ParamInfo // learnable parameters in pack order
+	Layers int         // forward layer count (ReadyLayer domain)
+	Ranks  int         // collective participants (= worker replicas)
+
+	Network     *topology.Network
+	ReduceOnCPE bool
+
+	// LayerDone[l] is the modeled completion time of layer l's
+	// backward; ComputeEnd the full forward+backward time. They drive
+	// both the auto-bucket selector and Compose's overlap overlay.
+	LayerDone  []float64
+	ComputeEnd float64
+
+	// Algorithm is an optional custom collective body (assumed
+	// element-uniform); AlgorithmName selects a built-in strategy
+	// (ring gets chunk-aligned bucketing). Empty name = RHD.
+	Algorithm     allreduce.Algorithm
+	AlgorithmName string
+
+	// BucketBytes caps one bucket (<=0 selects DefaultBucketBytes);
+	// AutoBucket overrides it with the α-β selector's choice (see
+	// SelectBucketBytes and the formula at allreduce.CostByName).
+	BucketBytes int
+	AutoBucket  bool
+}
+
+// Engine owns gradient bucket construction, the per-step flush
+// protocol and the modeled-makespan composition for one (net,
+// algorithm, cluster) trio. One Engine serves all ranks of a trainer:
+// per-rank state is indexed by rank, and the flush signalling is the
+// atomic-counter + capacity-1-channel handshake the overlapped
+// trainer pins with its race-enabled goldens.
+type Engine struct {
+	cfg   Config
+	strat Strategy
+
+	total int   // packed vector length, elements
+	offs  []int // global offset of each param
+
+	layerParams [][]int // per forward layer: param indices in pack order
+
+	buckets     []Bucket
+	bucketBytes int // the effective cap (selected when auto)
+	autoExposed float64
+
+	// Reused per-step staging. views holds each rank's packed-gradient
+	// buffer; it is replaced wholesale by ResetStaging so goroutines
+	// stranded by a failed collective keep only orphaned arrays.
+	views   [][]float32
+	cursors []int           // per-rank next-bucket index, reset per step
+	ready   []chan struct{} // cap-1 flush signal per bucket
+	counts  []int32         // per-bucket arrival counts, reset per step
+
+	reduced     [][][]float32 // [bucket][rank] reduced outputs
+	reducedFull [][]float32   // [rank] barrier (full-flush) outputs
+	commTimes   []float64     // per-bucket collective makespans
+}
+
+// New builds an engine. The configuration must be complete: parameter
+// layout, topology, priced timeline and algorithm selection.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Ranks <= 0 {
+		return nil, fmt.Errorf("collective: need at least one rank, got %d", cfg.Ranks)
+	}
+	// An empty parameter set is legal (a fully frozen net): the engine
+	// degenerates to zero buckets and an empty full-flush, matching
+	// the pre-engine trainer's behavior.
+	if cfg.Network == nil {
+		return nil, fmt.Errorf("collective: nil network")
+	}
+	if len(cfg.LayerDone) != cfg.Layers {
+		return nil, fmt.Errorf("collective: %d layer times for %d layers", len(cfg.LayerDone), cfg.Layers)
+	}
+	strat, err := StrategyFor(cfg.AlgorithmName, cfg.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg, strat: strat}
+	e.offs = make([]int, len(cfg.Params))
+	for i, p := range cfg.Params {
+		if p.Elems <= 0 || p.Layer < 0 || p.Layer >= cfg.Layers {
+			return nil, fmt.Errorf("collective: bad param %d: %+v", i, p)
+		}
+		e.offs[i] = e.total
+		e.total += p.Elems
+	}
+	e.layerParams = make([][]int, cfg.Layers)
+	for i, p := range cfg.Params {
+		e.layerParams[p.Layer] = append(e.layerParams[p.Layer], i)
+	}
+
+	e.bucketBytes = cfg.BucketBytes
+	if cfg.AutoBucket {
+		e.bucketBytes, e.autoExposed = SelectBucketBytes(strat, cfg.Network, cfg.Ranks, cfg.ReduceOnCPE,
+			cfg.Params, cfg.Layers, cfg.LayerDone, cfg.ComputeEnd)
+	} else if e.bucketBytes <= 0 {
+		e.bucketBytes = DefaultBucketBytes
+	}
+	e.buckets = layoutBuckets(strat, cfg.Params, e.offs, e.total, cfg.Ranks, e.bucketBytes, cfg.Layers)
+
+	nb, nw := len(e.buckets), cfg.Ranks
+	e.ready = make([]chan struct{}, nb)
+	for b := range e.ready {
+		// Capacity-1 signal channel: the last-arriving rank sends one
+		// token, the flush loop consumes it, and the empty channel is
+		// ready for the next step — no per-step close/remake.
+		e.ready[b] = make(chan struct{}, 1)
+	}
+	e.counts = make([]int32, nb)
+	e.cursors = make([]int, nw)
+	e.commTimes = make([]float64, nb)
+	e.reduced = make([][][]float32, nb)
+	for b := range e.reduced {
+		e.reduced[b] = make([][]float32, nw)
+	}
+	e.reducedFull = make([][]float32, nw)
+	e.allocViews()
+	return e, nil
+}
+
+func (e *Engine) allocViews() {
+	e.views = make([][]float32, e.cfg.Ranks)
+	for r := range e.views {
+		e.views[r] = make([]float32, e.total)
+	}
+}
+
+// Buckets returns the flush units in flush order (descending offsets:
+// backward produces the packed tail first).
+func (e *Engine) Buckets() []Bucket { return e.buckets }
+
+// BucketBytes reports the effective bucket cap — the configured or
+// auto-selected size.
+func (e *Engine) BucketBytes() int { return e.bucketBytes }
+
+// Auto reports whether the cap was chosen by the α-β selector, and
+// AutoExposed the selector's exposed-communication estimate for it.
+func (e *Engine) Auto() bool           { return e.cfg.AutoBucket }
+func (e *Engine) AutoExposed() float64 { return e.autoExposed }
+
+// StrategyName names the active bucketing strategy.
+func (e *Engine) StrategyName() string { return e.strat.Name() }
+
+// TotalElems returns the packed gradient vector length.
+func (e *Engine) TotalElems() int { return e.total }
+
+// BeginStep resets the per-step flush state: arrival counts, rank
+// cursors, and any ready token left by a step that panicked between a
+// bucket's completion and its consumption (a stale token would let
+// the next step's flush loop read a bucket mid-copy).
+func (e *Engine) BeginStep() {
+	for b := range e.counts {
+		e.counts[b] = 0
+		select {
+		case <-e.ready[b]:
+		default:
+		}
+	}
+	for r := range e.cursors {
+		e.cursors[r] = 0
+	}
+}
+
+// Produce records that rank's backward just completed forward-layer
+// li: the layer's parameter gradients are copied into the rank's
+// packed buffer, and every bucket the production frontier now covers
+// is counted — the last-arriving rank signals the flush loop. Safe to
+// call concurrently across ranks (each rank touches only its own
+// buffer and cursor; counts are atomic).
+func (e *Engine) Produce(rank, li int, diffs [][]float32) {
+	pack := e.views[rank]
+	for _, pi := range e.layerParams[li] {
+		copy(pack[e.offs[pi]:], diffs[pi])
+	}
+	cur := e.cursors[rank]
+	for cur < len(e.buckets) && e.buckets[cur].ReadyLayer == li {
+		if atomic.AddInt32(&e.counts[cur], 1) == int32(e.cfg.Ranks) {
+			e.ready[cur] <- struct{}{}
+		}
+		cur++
+	}
+	e.cursors[rank] = cur
+}
+
+// Ready returns bucket b's flush signal: one token arrives when every
+// rank has produced the bucket.
+func (e *Engine) Ready(b int) <-chan struct{} { return e.ready[b] }
+
+// RankViews returns the current per-rank packed-gradient buffers. The
+// flush caller must capture this slice locally and index it inside
+// the collective body, so ranks stranded by a failed run keep reading
+// the orphaned buffers after ResetStaging installs fresh ones.
+func (e *Engine) RankViews() [][]float32 { return e.views }
+
+// ReduceSeg runs the strategy's collective over bucket b on one
+// simnet rank, reading the rank's packed buffer through the caller's
+// captured view (see RankViews), and charges the final averaging
+// sweep.
+func (e *Engine) ReduceSeg(n *simnet.Node, b int, pack []float32) []float32 {
+	bk := e.buckets[b]
+	out := e.strat.Reduce(n, pack[bk.Lo:bk.Hi], bk.Lo, e.total)
+	n.ChargeReduce(len(out))
+	return out
+}
+
+// ReduceFull runs the strategy's collective over the whole packed
+// vector — the barrier flush. Bit-identical to flushing the buckets:
+// that is the strategies' contract.
+func (e *Engine) ReduceFull(n *simnet.Node, pack []float32) []float32 {
+	out := e.strat.Reduce(n, pack, 0, e.total)
+	n.ChargeReduce(len(out))
+	return out
+}
+
+// PackFull copies every parameter gradient of one rank into its
+// packed buffer (the barrier path's packing; Produce does it
+// incrementally for the overlap path).
+func (e *Engine) PackFull(rank int, diffs [][]float32) {
+	pack := e.views[rank]
+	for pi := range e.cfg.Params {
+		copy(pack[e.offs[pi]:], diffs[pi])
+	}
+}
+
+// Commit stores bucket b's per-rank reduced outputs and its simulated
+// makespan into the reused staging. Call only on the clean path: a
+// failed run's outputs must stay in the run's private storage.
+func (e *Engine) Commit(b int, outs [][]float32, commTime float64) {
+	copy(e.reduced[b], outs)
+	e.commTimes[b] = commTime
+}
+
+// CommitFull stores the barrier flush's per-rank outputs.
+func (e *Engine) CommitFull(outs [][]float32) { copy(e.reducedFull, outs) }
+
+// Unpack averages every committed bucket (1/Ranks) and scatters it
+// back into one rank's parameter gradients.
+func (e *Engine) Unpack(rank int, diffs [][]float32) {
+	for b := range e.buckets {
+		vec := e.reduced[b][rank]
+		allreduce.Scale(vec, e.cfg.Ranks)
+		e.scatter(vec, e.buckets[b].Lo, e.buckets[b].Hi, diffs)
+	}
+}
+
+// UnpackFull averages the barrier flush and scatters it back.
+func (e *Engine) UnpackFull(rank int, diffs [][]float32) {
+	vec := e.reducedFull[rank]
+	allreduce.Scale(vec, e.cfg.Ranks)
+	e.scatter(vec, 0, e.total, diffs)
+}
+
+// scatter copies vec (the reduced [lo,hi) range) into the parameter
+// gradients it overlaps. Buckets cut at element granularity, so a
+// parameter may span several buckets.
+func (e *Engine) scatter(vec []float32, lo, hi int, diffs [][]float32) {
+	// First param whose end lies beyond lo.
+	i := sort.Search(len(e.offs), func(i int) bool {
+		return e.offs[i]+e.cfg.Params[i].Elems > lo
+	})
+	for ; i < len(e.offs) && e.offs[i] < hi; i++ {
+		a, b := e.offs[i], e.offs[i]+e.cfg.Params[i].Elems
+		if a < lo {
+			a = lo
+		}
+		if b > hi {
+			b = hi
+		}
+		copy(diffs[i][a-e.offs[i]:b-e.offs[i]], vec[a-lo:b-lo])
+	}
+}
+
+// Compose chains the committed bucket collectives behind their
+// modeled production times (LayerDone[ReadyLayer] is where every
+// node's clock stood when the bucket was flushed) and returns the
+// summed communication plus the modeled step time given the measured
+// compute makespan. Exposed communication is stepTime - compute.
+func (e *Engine) Compose(compute float64) (commSum, stepTime float64) {
+	var commEnd float64
+	for b, bk := range e.buckets {
+		start := e.cfg.LayerDone[bk.ReadyLayer]
+		if commEnd > start {
+			start = commEnd
+		}
+		commEnd = start + e.commTimes[b]
+		commSum += e.commTimes[b]
+	}
+	stepTime = compute
+	if commEnd > stepTime {
+		stepTime = commEnd
+	}
+	return commSum, stepTime
+}
+
+// ResetStaging re-allocates every buffer a rank goroutine stranded by
+// a failed collective might still read or write — the per-rank packed
+// buffers and their view slice — leaving the old arrays to the
+// stragglers. Failure-path only; the hot path reuses staging.
+func (e *Engine) ResetStaging() {
+	e.allocViews()
+}
+
+// layoutBuckets partitions the packed vector into buckets of at least
+// maxBytes, walking layers from the tail (flush order). Cuts are
+// placed only at gradient production boundaries — the offsets where a
+// layer's parameter block begins — because splitting gradients that
+// become ready at the same instant buys no overlap and only adds
+// per-collective α latency; each cut is then snapped down to the
+// strategy's alignment (a no-op for element-uniform algorithms, the
+// previous chunk bound for the ring). The second walk assigns each
+// bucket the forward layer whose backward completes it: the frontier
+// is the lowest produced offset, and a bucket is ready the moment the
+// frontier covers its Lo.
+func layoutBuckets(strat Strategy, params []ParamInfo, offs []int, total, p, maxBytes, layers int) []Bucket {
+	maxElems := maxBytes / 4
+	if maxElems < 1 {
+		maxElems = 1
+	}
+	var out []Bucket
+	hi := total
+	for li := layers - 1; li >= 0 && hi > 0; li-- {
+		ps := layerParamsAt(params, li)
+		if len(ps) == 0 {
+			continue
+		}
+		blockStart := offs[ps[0]]
+		if hi-blockStart < maxElems || blockStart == 0 {
+			continue
+		}
+		// Prefer the upward alignment neighbor: it leaves the bucket
+		// ready the moment this layer's backward completes (the
+		// spill-over below the boundary joins the next bucket). Fall
+		// back to the downward neighbor when up collides with Hi.
+		cut := strat.SnapUp(blockStart, total, p)
+		if cut <= 0 || cut >= hi {
+			cut = strat.Snap(blockStart, total, p)
+		}
+		if cut > 0 && cut < hi {
+			out = append(out, Bucket{Lo: cut, Hi: hi})
+			hi = cut
+		}
+	}
+	if hi > 0 {
+		out = append(out, Bucket{Lo: 0, Hi: hi})
+	}
+
+	k := 0
+	frontier := total
+	for li := layers - 1; li >= 0 && k < len(out); li-- {
+		ps := layerParamsAt(params, li)
+		if len(ps) == 0 {
+			continue
+		}
+		if off := offs[ps[0]]; off < frontier {
+			frontier = off
+		}
+		for k < len(out) && out[k].Lo >= frontier {
+			out[k].ReadyLayer = li
+			k++
+		}
+	}
+	if k != len(out) {
+		panic(fmt.Sprintf("collective: %d of %d buckets never became ready (frontier %d)", len(out)-k, len(out), frontier))
+	}
+	return out
+}
+
+// layerParamsAt returns the indices of the params produced by layer
+// li, in pack order (params arrive sorted by layer).
+func layerParamsAt(params []ParamInfo, li int) []int {
+	var out []int
+	for i, p := range params {
+		if p.Layer == li {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelectBucketBytes is the auto-bucket selector: it sweeps candidate
+// bucket caps, prices each candidate's flush sequence with the
+// strategy's closed-form α-β cost model, composes the overlapped
+// timeline exactly as Compose does, and returns the cap minimizing
+// the exposed-communication estimate (ties broken toward the larger
+// cap — fewer collectives, fewer α latencies) together with that
+// estimate. The decision depends only on (network topology, p, the
+// layer-size histogram and the priced backward timeline), so it is
+// deterministic for a given configuration. The formula is documented
+// at allreduce.CostByName.
+func SelectBucketBytes(strat Strategy, netw *topology.Network, p int, onCPE bool,
+	params []ParamInfo, layers int, layerDone []float64, computeEnd float64) (bytes int, exposed float64) {
+	offs := make([]int, len(params))
+	total := 0
+	for i, pr := range params {
+		offs[i] = total
+		total += pr.Elems
+	}
+	totalBytes := total * 4
+
+	var cands []int
+	cands = append(cands, totalBytes) // single bucket (the barrier-shaped flush)
+	for c := 32 << 20; c >= 4<<10; c >>= 1 {
+		if c < totalBytes {
+			cands = append(cands, c)
+		}
+	}
+
+	best, bestExposed := -1, 0.0
+	for _, cand := range cands {
+		bks := layoutBuckets(strat, params, offs, total, p, cand, layers)
+		var commEnd float64
+		for _, bk := range bks {
+			c := strat.Cost(netw, p, float64(bk.Elems()*4), onCPE).Total()
+			start := layerDone[bk.ReadyLayer]
+			if commEnd > start {
+				start = commEnd
+			}
+			commEnd = start + c
+		}
+		exp := commEnd - computeEnd
+		if exp < 0 {
+			exp = 0
+		}
+		if best < 0 || exp < bestExposed {
+			best, bestExposed = cand, exp
+		}
+	}
+	return best, bestExposed
+}

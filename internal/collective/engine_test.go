@@ -1,0 +1,271 @@
+package collective
+
+import (
+	"runtime"
+	"testing"
+
+	"swcaffe/internal/allreduce"
+	"swcaffe/internal/topology"
+)
+
+// uniformTimeline fabricates a priced backward timeline for a layer
+// stack: layer l's backward completes at (layers-l)·step after an
+// equal forward window.
+func uniformTimeline(layers int, step float64) ([]float64, float64) {
+	done := make([]float64, layers)
+	end := 2 * float64(layers) * step
+	cum := float64(layers) * step
+	for l := layers - 1; l >= 0; l-- {
+		cum += step
+		done[l] = cum
+	}
+	return done, end
+}
+
+func testConfig(params []ParamInfo, layers, ranks int, name string) Config {
+	done, end := uniformTimeline(layers, 1e-4)
+	return Config{
+		Params: params, Layers: layers, Ranks: ranks,
+		Network: topology.Sunway(), ReduceOnCPE: true,
+		LayerDone: done, ComputeEnd: end,
+		AlgorithmName: name,
+	}
+}
+
+func checkBuckets(t *testing.T, e *Engine) {
+	t.Helper()
+	bks := e.Buckets()
+	if len(bks) == 0 {
+		t.Fatal("no buckets")
+	}
+	if bks[0].Hi != e.TotalElems() {
+		t.Fatalf("first bucket ends at %d, want total %d", bks[0].Hi, e.TotalElems())
+	}
+	if bks[len(bks)-1].Lo != 0 {
+		t.Fatalf("last bucket starts at %d, want 0", bks[len(bks)-1].Lo)
+	}
+	for i := 1; i < len(bks); i++ {
+		if bks[i].Hi != bks[i-1].Lo {
+			t.Fatalf("bucket %d not contiguous: %+v after %+v", i, bks[i], bks[i-1])
+		}
+		if bks[i].ReadyLayer > bks[i-1].ReadyLayer {
+			t.Fatalf("ready layers must not increase along flush order: %+v after %+v", bks[i], bks[i-1])
+		}
+	}
+	for _, b := range bks {
+		if b.Elems() <= 0 {
+			t.Fatalf("empty bucket %+v", b)
+		}
+	}
+}
+
+// TestRingBucketsChunkAligned: with the ring strategy every interior
+// bucket boundary must land on ChunkBounds(total, p) — including
+// ragged totals (total%p != 0) where the chunk partition is uneven.
+func TestRingBucketsChunkAligned(t *testing.T) {
+	for _, ranks := range []int{3, 4, 5} {
+		params := []ParamInfo{
+			{Layer: 0, Elems: 817}, {Layer: 0, Elems: 13},
+			{Layer: 2, Elems: 2048}, {Layer: 4, Elems: 331}, {Layer: 6, Elems: 7},
+		}
+		cfg := testConfig(params, 8, ranks, allreduce.NameRing)
+		cfg.BucketBytes = 1 << 10
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkBuckets(t, e)
+		if len(e.Buckets()) < 2 {
+			t.Fatalf("ranks=%d: expected several chunk-aligned buckets, got %d", ranks, len(e.Buckets()))
+		}
+		bounds := map[int]bool{}
+		for _, b := range allreduce.ChunkBounds(e.TotalElems(), ranks) {
+			bounds[b] = true
+		}
+		for _, bk := range e.Buckets() {
+			if !bounds[bk.Lo] || !bounds[bk.Hi] {
+				t.Fatalf("ranks=%d: bucket %+v not on chunk bounds %v", ranks, bk, allreduce.ChunkBounds(e.TotalElems(), ranks))
+			}
+		}
+	}
+}
+
+// TestOversizedLayerSingleBucket: a layer far bigger than the bucket
+// cap still becomes one flush unit — its gradients are all produced at
+// the same instant, so splitting them buys no overlap and only adds
+// per-collective latency.
+func TestOversizedLayerSingleBucket(t *testing.T) {
+	params := []ParamInfo{
+		{Layer: 0, Elems: 100},
+		{Layer: 2, Elems: 1 << 16}, // oversized vs the 1 KB cap below
+		{Layer: 4, Elems: 100},
+	}
+	for _, name := range []string{allreduce.NameRHD, allreduce.NameRing} {
+		cfg := testConfig(params, 6, 4, name)
+		cfg.BucketBytes = 1 << 10
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkBuckets(t, e)
+		// The oversized layer's elements must not be spread over more
+		// than the two buckets its (snapped) production boundaries can
+		// create.
+		lo, hi := 100, 100+1<<16
+		spanning := 0
+		for _, bk := range e.Buckets() {
+			if bk.Lo < hi && bk.Hi > lo {
+				spanning++
+			}
+		}
+		if spanning > 2 {
+			t.Fatalf("%s: oversized layer split across %d buckets: %+v", name, spanning, e.Buckets())
+		}
+	}
+}
+
+// TestUniformBucketsCutAtProductionBoundaries: element-uniform
+// strategies cut exactly at layer block starts, so buckets never split
+// a single layer's simultaneously-produced gradients.
+func TestUniformBucketsCutAtProductionBoundaries(t *testing.T) {
+	params := []ParamInfo{
+		{Layer: 0, Elems: 500}, {Layer: 1, Elems: 600},
+		{Layer: 2, Elems: 700}, {Layer: 3, Elems: 800},
+	}
+	cfg := testConfig(params, 4, 4, allreduce.NameRHD)
+	cfg.BucketBytes = 4 * 650 // elems cap 650
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBuckets(t, e)
+	starts := map[int]bool{0: true, 500: true, 1100: true, 1800: true, 2600: true}
+	for _, bk := range e.Buckets() {
+		if !starts[bk.Lo] {
+			t.Fatalf("bucket %+v does not start on a production boundary", bk)
+		}
+	}
+	// Layers 3 and 2 exceed the cap alone; layers 1+0 together stay
+	// within one flush unit until layer 0 closes the walk.
+	if len(e.Buckets()) != 3 {
+		t.Fatalf("want buckets {3}, {2}, {1,0} at this cap, got %+v", e.Buckets())
+	}
+}
+
+// TestAutoBucketDeterministicAcrossGOMAXPROCS: the α-β selector's
+// choice must depend only on (topology, p, layer histogram, priced
+// timeline) — never on host parallelism.
+func TestAutoBucketDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	params := []ParamInfo{
+		{Layer: 0, Elems: 2000}, {Layer: 2, Elems: 60000},
+		{Layer: 4, Elems: 9000}, {Layer: 6, Elems: 123},
+	}
+	build := func() *Engine {
+		cfg := testConfig(params, 8, 8, allreduce.NameRHD)
+		cfg.AutoBucket = true
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	var bytes []int
+	var buckets [][]Bucket
+	for _, procs := range []int{1, 2, old} {
+		runtime.GOMAXPROCS(procs)
+		e := build()
+		bytes = append(bytes, e.BucketBytes())
+		buckets = append(buckets, e.Buckets())
+	}
+	for i := 1; i < len(bytes); i++ {
+		if bytes[i] != bytes[0] {
+			t.Fatalf("auto bucket size varies with GOMAXPROCS: %v", bytes)
+		}
+		if len(buckets[i]) != len(buckets[0]) {
+			t.Fatalf("bucket layout varies with GOMAXPROCS: %v vs %v", buckets[i], buckets[0])
+		}
+		for b := range buckets[i] {
+			if buckets[i][b] != buckets[0][b] {
+				t.Fatalf("bucket %d varies with GOMAXPROCS: %+v vs %+v", b, buckets[i][b], buckets[0][b])
+			}
+		}
+	}
+}
+
+// TestAutoBucketBeatsFixedDefault: for a workload whose gradients are
+// tiny next to DefaultBucketBytes, the selector must find a cap with a
+// strictly lower exposed-communication estimate than the fixed
+// default's single barrier-shaped bucket.
+func TestAutoBucketBeatsFixedDefault(t *testing.T) {
+	params := []ParamInfo{
+		{Layer: 0, Elems: 2000}, {Layer: 2, Elems: 60000},
+		{Layer: 4, Elems: 9000}, {Layer: 6, Elems: 123},
+	}
+	done, end := uniformTimeline(8, 1e-4)
+	strat, err := StrategyFor(allreduce.NameRHD, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netw := topology.Sunway()
+	bytes, exposed := SelectBucketBytes(strat, netw, 8, true, params, 8, done, end)
+	if bytes >= DefaultBucketBytes {
+		t.Fatalf("selector picked %d bytes, expected finer than the %d default", bytes, DefaultBucketBytes)
+	}
+	// Price the fixed default the same way the selector prices its
+	// candidates.
+	offs := make([]int, len(params))
+	total := 0
+	for i, p := range params {
+		offs[i] = total
+		total += p.Elems
+	}
+	var commEnd float64
+	for _, bk := range layoutBuckets(strat, params, offs, total, 8, DefaultBucketBytes, 8) {
+		c := strat.Cost(netw, 8, float64(bk.Elems()*4), true).Total()
+		start := done[bk.ReadyLayer]
+		if commEnd > start {
+			start = commEnd
+		}
+		commEnd = start + c
+	}
+	defExposed := commEnd - end
+	if defExposed < 0 {
+		defExposed = 0
+	}
+	if !(exposed < defExposed) {
+		t.Fatalf("auto exposure %g not below fixed-default exposure %g", exposed, defExposed)
+	}
+}
+
+// TestEngineConfigValidation: misconfiguration must fail construction,
+// not a later Step.
+func TestEngineConfigValidation(t *testing.T) {
+	good := testConfig([]ParamInfo{{Layer: 0, Elems: 10}}, 2, 2, "")
+	if _, err := New(good); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	// A fully frozen net (no learnable params) must build: zero
+	// buckets, empty full-flush — the pre-engine trainer allowed it.
+	frozen := good
+	frozen.Params = nil
+	if e, err := New(frozen); err != nil {
+		t.Fatalf("frozen net rejected: %v", err)
+	} else if len(e.Buckets()) != 0 || e.TotalElems() != 0 {
+		t.Fatalf("frozen net engine not degenerate: %+v", e.Buckets())
+	}
+	for name, mutate := range map[string]func(*Config){
+		"no ranks":     func(c *Config) { c.Ranks = 0 },
+		"nil network":  func(c *Config) { c.Network = nil },
+		"bad layer":    func(c *Config) { c.Params = []ParamInfo{{Layer: 7, Elems: 10}} },
+		"bad timeline": func(c *Config) { c.LayerDone = c.LayerDone[:1] },
+		"unknown alg":  func(c *Config) { c.AlgorithmName = "nope" },
+	} {
+		cfg := testConfig([]ParamInfo{{Layer: 0, Elems: 10}}, 2, 2, "")
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}

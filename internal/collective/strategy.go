@@ -1,0 +1,148 @@
+// Package collective implements the unified gradient-synchronization
+// engine of the distributed trainer (paper Sec. V-A): bucket
+// construction over the packed gradient vector, flush ordering during
+// backward, per-algorithm bucketing strategies, the α-β auto-bucket
+// selector, and the modeled-makespan composition of the overlapped
+// timeline. The trainer packs gradients and launches passes; the
+// engine decides where the buckets fall, which collective schedule
+// reduces each one bit-identically to the one-shot barrier, and what
+// the overlap is worth on the modeled clock — so a new all-reduce
+// variant plugs in as a Strategy instead of a trainer rewrite.
+package collective
+
+import (
+	"fmt"
+
+	"swcaffe/internal/allreduce"
+	"swcaffe/internal/simnet"
+	"swcaffe/internal/topology"
+)
+
+// Strategy is the pluggable per-algorithm bucketing policy: it owns
+// the boundary alignment a bucket must respect for the algorithm to
+// stay bit-identical under bucketing, the collective schedule that
+// reduces one bucket, and the analytic cost model the auto-bucket
+// selector minimizes.
+type Strategy interface {
+	Name() string
+	// Snap returns the largest admissible bucket boundary <= cut and
+	// SnapUp the smallest admissible boundary >= cut (element indices
+	// into the packed vector of length total over p ranks).
+	// Element-uniform algorithms admit every boundary; the ring
+	// admits only its chunk bounds. The engine prefers the upward
+	// neighbor — it keeps the bucket ready at the layer that proposed
+	// the cut — and falls back to the downward one.
+	Snap(cut, total, p int) int
+	SnapUp(cut, total, p int) int
+	// Reduce runs the collective over seg, the [lo, lo+len(seg))
+	// slice of the packed vector, on one simnet rank. On return every
+	// rank holds the elementwise sum — with the same association
+	// order the algorithm would use on the whole packed vector, so
+	// bucketed and barrier flushes agree bit for bit.
+	Reduce(n *simnet.Node, seg []float32, lo, total int) []float32
+	// Cost prices one bucket flush with the closed-form α-β-γ model
+	// (paper Eqns. 2–6; see allreduce.CostByName for how the selector
+	// uses it).
+	Cost(net *topology.Network, p int, nBytes float64, onCPE bool) allreduce.Cost
+}
+
+// uniform wraps an element-uniform algorithm (every element is
+// reduced with the same cross-rank association order regardless of
+// its position in the vector — recursive halving/doubling, binomial
+// tree, and by assumption any caller-supplied custom body): buckets
+// may cut anywhere.
+type uniform struct {
+	name string
+	alg  allreduce.Algorithm
+	cost allreduce.CostFunc
+}
+
+func (u uniform) Name() string             { return u.name }
+func (u uniform) Snap(cut, _, _ int) int   { return cut }
+func (u uniform) SnapUp(cut, _, _ int) int { return cut }
+func (u uniform) Reduce(n *simnet.Node, seg []float32, _, _ int) []float32 {
+	return u.alg(n, seg)
+}
+func (u uniform) Cost(net *topology.Network, p int, nBytes float64, onCPE bool) allreduce.Cost {
+	return u.cost(net, p, nBytes, onCPE)
+}
+
+// ringChunkAligned is the ring's strategy: the ring reduces chunk c
+// with a rotation order that depends on c, so buckets must be whole
+// runs of the global chunk partition and each bucket runs the full
+// ring's schedule restricted to its chunks (allreduce.RingSegment).
+type ringChunkAligned struct{}
+
+func (ringChunkAligned) Name() string { return allreduce.NameRing }
+
+func (ringChunkAligned) Snap(cut, total, p int) int {
+	if total == 0 || p <= 1 {
+		return cut
+	}
+	// Largest chunk bound <= cut: bounds are floor(i*total/p), so the
+	// candidate index is ceil((cut+1)*p/total)-1, nudged down while it
+	// still overshoots (integer floors are not exactly invertible).
+	i := ((cut+1)*p + total - 1) / total
+	if i > p {
+		i = p
+	}
+	for i > 0 && i*total/p > cut {
+		i--
+	}
+	return i * total / p
+}
+
+func (ringChunkAligned) SnapUp(cut, total, p int) int {
+	if total == 0 || p <= 1 {
+		return cut
+	}
+	// Smallest chunk bound >= cut.
+	i := cut * p / total
+	for i < p && i*total/p < cut {
+		i++
+	}
+	return i * total / p
+}
+
+func (ringChunkAligned) Reduce(n *simnet.Node, seg []float32, lo, total int) []float32 {
+	return allreduce.RingSegment(n, seg, lo, total)
+}
+
+func (ringChunkAligned) Cost(net *topology.Network, p int, nBytes float64, onCPE bool) allreduce.Cost {
+	return allreduce.RingCost(net, p, nBytes, onCPE)
+}
+
+// StrategyFor resolves the bucketing strategy for a named algorithm,
+// or wraps a caller-supplied custom body (custom bodies are assumed
+// element-uniform — the contract the pre-engine overlap trainer
+// already imposed — and priced with the improved-RHD cost model
+// unless the name says otherwise). An empty name selects the default
+// recursive halving/doubling.
+func StrategyFor(name string, custom allreduce.Algorithm) (Strategy, error) {
+	if custom != nil {
+		cost, err := allreduce.CostByName(name)
+		if err != nil {
+			cost = allreduce.ImprovedRHDCost
+		}
+		label := name
+		if label == "" {
+			label = "custom"
+		}
+		return uniform{name: label, alg: custom, cost: cost}, nil
+	}
+	if name == "" {
+		name = allreduce.NameRHD
+	}
+	if name == allreduce.NameRing {
+		return ringChunkAligned{}, nil
+	}
+	alg, err := allreduce.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	cost, err := allreduce.CostByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("collective: %w", err)
+	}
+	return uniform{name: name, alg: alg, cost: cost}, nil
+}

@@ -290,8 +290,14 @@ func TestFigure10And11Claims(t *testing.T) {
 // the saving persists at every node count.
 func TestFunctionalScalingClaims(t *testing.T) {
 	rows := FunctionalScaling(io.Discard)
-	if len(rows) != 3 {
+	if len(rows) != 6 {
 		t.Fatalf("%d rows", len(rows))
+	}
+	if !rows[len(rows)-1].Timeline || rows[len(rows)-1].Nodes != 128 {
+		t.Fatalf("sweep should end with the timeline-mode p=128 point, got %+v", rows[len(rows)-1])
+	}
+	if rows[0].Timeline {
+		t.Fatalf("small node counts should run on pooled nodes, got %+v", rows[0])
 	}
 	for _, r := range rows {
 		b, o := r.Barrier.Stats, r.Overlap.Stats

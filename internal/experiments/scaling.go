@@ -177,13 +177,19 @@ func funcScaleNet(batch, classes int) (*core.Net, map[string]*tensor.Tensor, err
 
 // FunctionalScalingRow is one measured point of the cluster-runtime
 // sweep: barrier and overlap modeled step decompositions at p nodes.
+// Timeline marks the rows executed on timeline-only nodes (no CPE
+// pools), which is what lets the sweep reach p in the hundreds.
 type FunctionalScalingRow struct {
-	Nodes   int
-	Barrier train.FunctionalPoint
-	Overlap train.FunctionalPoint
+	Nodes    int
+	Timeline bool
+	Barrier  train.FunctionalPoint
+	Overlap  train.FunctionalPoint
 }
 
-var functionalNodeCounts = []int{2, 4, 8}
+var (
+	functionalNodeCounts         = []int{2, 4, 8}
+	functionalTimelineNodeCounts = []int{16, 64, 128}
+)
 
 // FunctionalScaling executes the multi-node cluster runtime end to end
 // — every worker's passes as stream launches on its own simulated
@@ -191,43 +197,62 @@ var functionalNodeCounts = []int{2, 4, 8}
 // modeled step decompositions, barrier vs bucketed overlap. It is the
 // functional complement of Figs. 10/11's closed-form curves: same
 // machinery the distributed trainer tests pin bit-identical to host
-// math, so these numbers are executed, not priced.
+// math, so these numbers are executed, not priced. Beyond p=8 the
+// sweep switches the nodes to timeline-only mode (identical numerics
+// and StepStats, no CPE pools) and continues into the
+// hundreds-of-nodes regime.
 func FunctionalScaling(w io.Writer) []FunctionalScalingRow {
 	const classes = 4
 	ds := dataset.NewClusters(4096, classes, 1, 8, 8, 0.35, 77)
 	build := func() (*core.Net, map[string]*tensor.Tensor, error) { return funcScaleNet(8, classes) }
 	solver := core.SolverConfig{BaseLR: 0.05, Momentum: 0.9}
 
-	sweep := func(overlap bool) []train.FunctionalPoint {
-		pts, err := train.FunctionalSweep(build, ds, functionalNodeCounts, train.FunctionalSweepConfig{
-			SubBatch: 8, Solver: solver, Overlap: overlap, BucketBytes: 8 << 10, Iters: 2,
+	sweep := func(overlap, timeline bool, nodes []int) []train.FunctionalPoint {
+		pts, err := train.FunctionalSweep(build, ds, nodes, train.FunctionalSweepConfig{
+			SubBatch: 8, Solver: solver, Overlap: overlap, BucketBytes: 8 << 10,
+			Timeline: timeline, Iters: 2,
 		})
 		if err != nil {
 			panic(err)
 		}
 		return pts
 	}
-	var barrier, overlap []train.FunctionalPoint
-	parallelFor(2, func(i int) {
-		if i == 0 {
-			barrier = sweep(false)
-		} else {
-			overlap = sweep(true)
+	var barrier, overlap, tlBarrier, tlOverlap []train.FunctionalPoint
+	parallelFor(4, func(i int) {
+		switch i {
+		case 0:
+			barrier = sweep(false, false, functionalNodeCounts)
+		case 1:
+			overlap = sweep(true, false, functionalNodeCounts)
+		case 2:
+			tlBarrier = sweep(false, true, functionalTimelineNodeCounts)
+		case 3:
+			tlOverlap = sweep(true, true, functionalTimelineNodeCounts)
 		}
 	})
 
-	rows := make([]FunctionalScalingRow, len(functionalNodeCounts))
+	rows := make([]FunctionalScalingRow, 0, len(functionalNodeCounts)+len(functionalTimelineNodeCounts))
+	for i, p := range functionalNodeCounts {
+		rows = append(rows, FunctionalScalingRow{Nodes: p, Barrier: barrier[i], Overlap: overlap[i]})
+	}
+	for i, p := range functionalTimelineNodeCounts {
+		rows = append(rows, FunctionalScalingRow{Nodes: p, Timeline: true, Barrier: tlBarrier[i], Overlap: tlOverlap[i]})
+	}
+
 	section(w, "Functional scaling: cluster runtime on simulated swnode.Nodes (measured, not priced)")
 	tw := newTab(w)
-	fmt.Fprintln(tw, "nodes\tbarrier step\tbarrier exposed\toverlap step\toverlap exposed\toverlap speedup")
-	for i := range rows {
-		rows[i] = FunctionalScalingRow{Nodes: functionalNodeCounts[i], Barrier: barrier[i], Overlap: overlap[i]}
-		b, o := rows[i].Barrier.Stats, rows[i].Overlap.Stats
+	fmt.Fprintln(tw, "nodes\tmode\tbarrier step\tbarrier exposed\toverlap step\toverlap exposed\toverlap speedup")
+	for _, r := range rows {
+		b, o := r.Barrier.Stats, r.Overlap.Stats
 		gain := 1.0
 		if o.StepTime > 0 {
 			gain = b.StepTime / o.StepTime
 		}
-		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%.3fx\n", rows[i].Nodes,
+		mode := "pooled"
+		if r.Timeline {
+			mode = "timeline"
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%s\t%.3fx\n", r.Nodes, mode,
 			fmtTime(b.StepTime), fmtTime(b.Exposed), fmtTime(o.StepTime), fmtTime(o.Exposed), gain)
 	}
 	tw.Flush()

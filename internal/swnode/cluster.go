@@ -39,6 +39,28 @@ func NewCluster(p int, m *sw26010.Model) *Cluster {
 	return c
 }
 
+// NewTimelineCluster builds p timeline-only nodes (see
+// NewTimelineNode): the full stream/event/scheduler semantics and
+// per-node modeled timelines with no CPE pools at all, so the
+// functional cluster runtime scales to p in the hundreds without
+// p×64 simulated-mesh goroutines.
+func NewTimelineCluster(p int, m *sw26010.Model) *Cluster {
+	if p <= 0 {
+		panic(fmt.Sprintf("swnode: cluster size %d must be positive", p))
+	}
+	if m == nil {
+		m = sw26010.Default()
+	}
+	c := &Cluster{nodes: make([]*Node, p)}
+	for i := range c.nodes {
+		c.nodes[i] = NewTimelineNode(m)
+	}
+	return c
+}
+
+// Timeline reports whether the cluster's nodes are timeline-only.
+func (c *Cluster) Timeline() bool { return c.nodes[0].Timeline() }
+
 // Size returns the number of nodes.
 func (c *Cluster) Size() int { return len(c.nodes) }
 

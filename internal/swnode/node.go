@@ -36,7 +36,8 @@ const Unpinned = -1
 type Node struct {
 	Model *sw26010.Model
 
-	cgs [sw26010.CoreGroups]*sw26010.CoreGroup
+	cgs      [sw26010.CoreGroups]*sw26010.CoreGroup
+	timeline bool // no CoreGroups: LaunchFunc-only, DAG timeline intact
 
 	mu       sync.Mutex
 	load     [sw26010.CoreGroups]float64 // cumulative scheduling weight per CG
@@ -62,8 +63,34 @@ func NewNode(m *sw26010.Model) *Node {
 	return n
 }
 
-// CG returns CoreGroup i (0..3) for direct, synchronous use.
-func (n *Node) CG(i int) *sw26010.CoreGroup { return n.cgs[i] }
+// NewTimelineNode builds a lightweight node with no CoreGroups behind
+// it: launches must go through Stream.LaunchFunc, which executes on
+// the host goroutine and is charged the modeled seconds it returns.
+// Stream ordering, event dependencies, the deterministic 4-slot
+// least-loaded scheduler and the modeled [SimStart, SimEnd] timeline
+// all behave exactly as on a pooled node — only the simulated CPE
+// meshes (and their worker goroutines, 64 per CoreGroup) are absent,
+// which is what lets a functional sweep run the cluster runtime at
+// hundreds of nodes.
+func NewTimelineNode(m *sw26010.Model) *Node {
+	if m == nil {
+		m = sw26010.Default()
+	}
+	return &Node{Model: m, timeline: true}
+}
+
+// Timeline reports whether this is a timeline-only node (no CPE
+// pools; LaunchFunc-only).
+func (n *Node) Timeline() bool { return n.timeline }
+
+// CG returns CoreGroup i (0..3) for direct, synchronous use. Panics
+// on a timeline-only node, which has no CoreGroups.
+func (n *Node) CG(i int) *sw26010.CoreGroup {
+	if n.timeline {
+		panic("swnode: CG access on a timeline-only node")
+	}
+	return n.cgs[i]
+}
 
 // NewStream returns a stream whose launches the scheduler places on
 // the least-loaded CoreGroup (deterministically: cumulative assigned
@@ -128,10 +155,14 @@ func (n *Node) SimTime() float64 {
 	return t
 }
 
-// Stats returns the summed simulated activity of all four CoreGroups.
+// Stats returns the summed simulated activity of all four CoreGroups
+// (zero on a timeline-only node, which runs no mesh kernels).
 func (n *Node) Stats() sw26010.Stats {
 	var agg sw26010.Stats
 	for _, cg := range n.cgs {
+		if cg == nil {
+			continue
+		}
 		s := cg.Stats()
 		agg.Add(&s)
 	}
@@ -147,6 +178,8 @@ func (n *Node) Close() {
 	n.firstErr = nil
 	n.mu.Unlock()
 	for _, cg := range n.cgs {
-		cg.Close()
+		if cg != nil {
+			cg.Close()
+		}
 	}
 }

@@ -82,9 +82,27 @@ func (s *Stream) Launch(kernel func(cg *sw26010.CoreGroup) float64, deps ...*Eve
 // equals assignment order and the modeled timeline is deterministic.
 //
 // weight biases the least-loaded scheduler for unpinned streams
-// (e.g. a modeled cost estimate); placement uses cumulative assigned
-// weight only, never completion times, so it is reproducible.
+// (e.g. a modeled cost estimate, such as the swdnn plan time of the
+// kernel); placement uses cumulative assigned weight only, never
+// completion times, so it is reproducible.
 func (s *Stream) LaunchWeighted(weight float64, kernel func(cg *sw26010.CoreGroup) float64, deps ...*Event) *Event {
+	if s.node.timeline {
+		panic("swnode: CoreGroup launch on a timeline-only node; use LaunchFunc")
+	}
+	return s.launch(weight, func(e *Event) float64 { return kernel(s.node.cgs[e.cg]) }, deps)
+}
+
+// LaunchFunc submits fn as a launch that runs on the host goroutine
+// with no CoreGroup behind it: fn executes once the launch's ordering
+// constraints resolve and the launch is charged exactly the modeled
+// seconds fn returns. This is the only launch a timeline-only node
+// accepts, and it also works on pooled nodes (for work that needs
+// scheduling and a timeline but no simulated mesh).
+func (s *Stream) LaunchFunc(weight float64, fn func() float64, deps ...*Event) *Event {
+	return s.launch(weight, func(*Event) float64 { return fn() }, deps)
+}
+
+func (s *Stream) launch(weight float64, exec func(e *Event) float64, deps []*Event) *Event {
 	n := s.node
 
 	// The stream lock spans placement so that concurrent Launch calls
@@ -115,7 +133,7 @@ func (s *Stream) LaunchWeighted(weight float64, kernel func(cg *sw26010.CoreGrou
 	s.mu.Unlock()
 
 	waits = append(waits, deps...)
-	go e.run(kernel, cgPrev, waits)
+	go e.run(exec, cgPrev, waits)
 	return e
 }
 
@@ -162,7 +180,7 @@ func (s *Stream) Wait() float64 {
 // The stream predecessor and explicit deps are data dependencies: a
 // failed producer poisons its dependents, which skip their kernels and
 // re-raise the root panic value from Wait.
-func (e *Event) run(kernel func(cg *sw26010.CoreGroup) float64, cgPrev *Event, waits []*Event) {
+func (e *Event) run(exec func(e *Event) float64, cgPrev *Event, waits []*Event) {
 	defer e.node.pending.Done()
 	defer close(e.done)
 	var start float64
@@ -194,7 +212,7 @@ func (e *Event) run(kernel func(cg *sw26010.CoreGroup) float64, cgPrev *Event, w
 			e.node.mu.Unlock()
 		}
 	}()
-	t := kernel(e.node.cgs[e.cg])
+	t := exec(e)
 	e.simTime = t
 	e.simEnd = start + t
 }

@@ -328,3 +328,82 @@ func TestConcurrentSubmitters(t *testing.T) {
 		t.Fatalf("launch accounting: %d completed, node says %d", total.Load(), node.Launches())
 	}
 }
+
+// TestTimelineNodeLaunchFunc: timeline-only nodes run LaunchFunc
+// launches with full stream/dependency ordering and modeled times but
+// no CoreGroups; CoreGroup launches and CG access must be refused.
+func TestTimelineNodeLaunchFunc(t *testing.T) {
+	node := swnode.NewTimelineNode(nil)
+	defer node.Close()
+	if !node.Timeline() {
+		t.Fatal("not a timeline node")
+	}
+
+	var order []int
+	var mu sync.Mutex
+	st := node.NewStream()
+	mark := func(id int, d float64) func() float64 {
+		return func() float64 {
+			mu.Lock()
+			order = append(order, id)
+			mu.Unlock()
+			return d
+		}
+	}
+	a := st.LaunchFunc(3, mark(1, 10))
+	b := st.LaunchFunc(3, mark(2, 5))
+	other := node.NewStream().LaunchFunc(1, mark(3, 7), b)
+	node.Sync()
+
+	if a.Wait() != 10 || b.Wait() != 5 || other.Wait() != 7 {
+		t.Fatalf("modeled durations wrong: %v %v %v", a.Wait(), b.Wait(), other.Wait())
+	}
+	if b.SimStart() != 10 || b.SimEnd() != 15 {
+		t.Fatalf("stream order not modeled: b=[%g,%g]", b.SimStart(), b.SimEnd())
+	}
+	if other.SimStart() != 15 || other.SimEnd() != 22 {
+		t.Fatalf("event dependency not modeled: other=[%g,%g]", other.SimStart(), other.SimEnd())
+	}
+	mu.Lock()
+	if order[0] != 1 || order[1] != 2 {
+		t.Fatalf("stream launches ran out of order: %v", order)
+	}
+	mu.Unlock()
+	if got := node.SimTime(); got != 22 {
+		t.Fatalf("SimTime %g, want 22", got)
+	}
+	if st := node.Stats(); st.Flops != 0 {
+		t.Fatalf("timeline node reported mesh activity: %+v", st)
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("CoreGroup launch accepted on a timeline node")
+			}
+		}()
+		node.NewStream().Launch(func(cg *sw26010.CoreGroup) float64 { return 0 })
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("CG access accepted on a timeline node")
+			}
+		}()
+		node.CG(0)
+	}()
+}
+
+// TestLaunchFuncOnPooledNode: LaunchFunc also works on pooled nodes,
+// sharing the CG-slot scheduler with kernel launches.
+func TestLaunchFuncOnPooledNode(t *testing.T) {
+	node := swnode.NewNode(nil)
+	defer node.Close()
+	ev := node.NewStream().LaunchFunc(2, func() float64 { return 4 })
+	if ev.Wait() != 4 {
+		t.Fatal("LaunchFunc duration lost on pooled node")
+	}
+	if cg := ev.CGIndex(); cg < 0 || cg >= sw26010.CoreGroups {
+		t.Fatalf("unscheduled CG slot %d", cg)
+	}
+}

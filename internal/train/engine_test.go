@@ -1,0 +1,259 @@
+package train
+
+import (
+	"testing"
+
+	"swcaffe/internal/allreduce"
+	"swcaffe/internal/core"
+	"swcaffe/internal/dataset"
+	"swcaffe/internal/tensor"
+)
+
+// TestRingOverlapBitIdenticalToBarrier is the golden for the
+// chunk-aligned ring overlap: the ring reduces each chunk with a
+// rotation order that depends on the chunk index, so naive bucketing
+// breaks bit-identity — the collective engine snaps ring buckets onto
+// the global chunk partition and reduces each with the full ring's
+// per-chunk schedule (allreduce.RingSegment). Losses and every
+// replica's parameters must match the one-shot barrier ring bit for
+// bit, power-of-two p and not (ragged chunk bounds). Run under -race
+// by `make race`.
+func TestRingOverlapBitIdenticalToBarrier(t *testing.T) {
+	const classes = 3
+	ds := dataset.NewClusters(2000, classes, 1, 8, 8, 0.4, 41)
+	cfg := core.SolverConfig{BaseLR: 0.05, Momentum: 0.9}
+	for _, nodes := range []int{4, 3, 5} {
+		barrier, err := NewDistTrainer(DistConfig{Nodes: nodes, SubBatch: 8, Solver: cfg,
+			AlgorithmName: allreduce.NameRing}, deepFactory(8, classes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer barrier.Close()
+		overlap, err := NewDistTrainer(DistConfig{Nodes: nodes, SubBatch: 8, Solver: cfg,
+			AlgorithmName: allreduce.NameRing,
+			Overlap:       true, BucketBytes: 8 << 10}, deepFactory(8, classes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer overlap.Close()
+		for it := 0; it < 8; it++ {
+			barrier.LoadShards(ds, it)
+			overlap.LoadShards(ds, it)
+			lb := barrier.Step()
+			lo := overlap.Step()
+			if lb != lo {
+				t.Fatalf("nodes=%d iter %d: losses diverge: %v != %v", nodes, it, lb, lo)
+			}
+		}
+		if overlap.Buckets() < 2 {
+			t.Fatalf("nodes=%d: expected multiple chunk-aligned buckets, got %d", nodes, overlap.Buckets())
+		}
+		bp := barrier.Workers[0].Net.LearnableParams()
+		op := overlap.Workers[0].Net.LearnableParams()
+		for i := range bp {
+			if d := tensor.MaxDiff(bp[i].Data, op[i].Data); d != 0 {
+				t.Fatalf("nodes=%d param %d: ring overlap deviates by %g from barrier (must be bit-identical)", nodes, i, d)
+			}
+		}
+		if d := overlap.ParamsDiverged(); d != 0 {
+			t.Fatalf("nodes=%d: overlap replicas diverged by %g", nodes, d)
+		}
+		// The engine really ran the chunk-aligned strategy, and the
+		// overlap hid communication the barrier exposed.
+		if name := overlap.Engine().StrategyName(); name != allreduce.NameRing {
+			t.Fatalf("nodes=%d: strategy %q", nodes, name)
+		}
+		if overlap.ExposedCommTime >= barrier.ExposedCommTime {
+			t.Fatalf("nodes=%d: ring overlap exposed %g >= barrier %g",
+				nodes, overlap.ExposedCommTime, barrier.ExposedCommTime)
+		}
+	}
+}
+
+// TestAutoBucketOverlapBitIdenticalAndNoWorse: the α-β-selected bucket
+// cap must keep the overlap bit-identical to the barrier path and
+// produce modeled exposed communication no worse than the fixed
+// DefaultBucketBytes cap (which, for this small net, degenerates to a
+// single barrier-shaped bucket).
+func TestAutoBucketOverlapBitIdenticalAndNoWorse(t *testing.T) {
+	const classes = 3
+	ds := dataset.NewClusters(2000, classes, 1, 8, 8, 0.4, 43)
+	cfg := core.SolverConfig{BaseLR: 0.05, Momentum: 0.9}
+	mk := func(overlap, auto bool, bucketBytes int) *DistTrainer {
+		d, err := NewDistTrainer(DistConfig{Nodes: 4, SubBatch: 8, Solver: cfg,
+			Overlap: overlap, AutoBucket: auto, BucketBytes: bucketBytes}, deepFactory(8, classes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	barrier := mk(false, false, 0)
+	fixed := mk(true, false, DefaultBucketBytes)
+	auto := mk(true, true, 0)
+	defer barrier.Close()
+	defer fixed.Close()
+	defer auto.Close()
+	for it := 0; it < 6; it++ {
+		for _, d := range []*DistTrainer{barrier, fixed, auto} {
+			d.LoadShards(ds, it)
+		}
+		lb, lf, la := barrier.Step(), fixed.Step(), auto.Step()
+		if lb != lf || lb != la {
+			t.Fatalf("iter %d: losses diverge: barrier %v fixed %v auto %v", it, lb, lf, la)
+		}
+	}
+	bp := barrier.Workers[0].Net.LearnableParams()
+	ap := auto.Workers[0].Net.LearnableParams()
+	for i := range bp {
+		if d := tensor.MaxDiff(bp[i].Data, ap[i].Data); d != 0 {
+			t.Fatalf("param %d: auto-bucket overlap deviates by %g from barrier (must be bit-identical)", i, d)
+		}
+	}
+	if !auto.Engine().Auto() {
+		t.Fatal("auto trainer did not auto-select")
+	}
+	if auto.Engine().BucketBytes() >= DefaultBucketBytes {
+		t.Fatalf("auto selected %d bytes; expected finer than the %d default for this tiny net",
+			auto.Engine().BucketBytes(), DefaultBucketBytes)
+	}
+	if auto.LastStep.Exposed > fixed.LastStep.Exposed {
+		t.Fatalf("auto-bucket exposed %g worse than fixed default %g",
+			auto.LastStep.Exposed, fixed.LastStep.Exposed)
+	}
+	if auto.Buckets() <= fixed.Buckets() {
+		t.Fatalf("auto buckets %d not finer than fixed default's %d", auto.Buckets(), fixed.Buckets())
+	}
+}
+
+// TestTimelineClusterBitIdenticalToHostMath: timeline-only nodes (no
+// CPE pools) must leave numerics and modeled StepStats bit-identical
+// to the host-math trainer, for both step variants.
+func TestTimelineClusterBitIdenticalToHostMath(t *testing.T) {
+	const classes = 3
+	ds := dataset.NewClusters(2000, classes, 1, 8, 8, 0.4, 47)
+	cfg := core.SolverConfig{BaseLR: 0.05, Momentum: 0.9}
+	for _, overlap := range []bool{false, true} {
+		mk := func(hostMath bool) *DistTrainer {
+			d, err := NewDistTrainer(DistConfig{Nodes: 3, SubBatch: 8, Solver: cfg,
+				Overlap: overlap, BucketBytes: 8 << 10,
+				Timeline: true, HostMath: hostMath}, deepFactory(8, classes))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}
+		sim, host := mk(false), mk(true)
+		for it := 0; it < 10; it++ {
+			sim.LoadShards(ds, it)
+			host.LoadShards(ds, it)
+			if ls, lh := sim.Step(), host.Step(); ls != lh {
+				t.Fatalf("overlap=%v iter %d: loss %v != host-math %v", overlap, it, ls, lh)
+			}
+			if sim.LastStep != host.LastStep {
+				t.Fatalf("overlap=%v iter %d: StepStats %+v != host-math %+v", overlap, it, sim.LastStep, host.LastStep)
+			}
+		}
+		for r := 0; r < 3; r++ {
+			sp := sim.Workers[r].Net.LearnableParams()
+			hp := host.Workers[r].Net.LearnableParams()
+			for i := range sp {
+				if d := tensor.MaxDiff(sp[i].Data, hp[i].Data); d != 0 {
+					t.Fatalf("overlap=%v rank %d param %d: timeline runtime deviates by %g", overlap, r, i, d)
+				}
+			}
+		}
+		if !sim.Node(0).Timeline() {
+			t.Fatal("trainer did not run on timeline nodes")
+		}
+		if sim.Node(0).Launches() == 0 || sim.Node(0).SimTime() <= 0 {
+			t.Fatal("no launches landed on the timeline nodes")
+		}
+		sim.Close()
+		host.Close()
+	}
+}
+
+// TestTimelineClusterP128Smoke is the functional-scaling smoke at p in
+// the hundreds: 128 timeline nodes run real synchronous steps (the
+// CI-pinned regime the pooled runtime cannot afford), replicas stay
+// bit-consistent, and the modeled decomposition is sane.
+func TestTimelineClusterP128Smoke(t *testing.T) {
+	const p, classes = 128, 3
+	ds := dataset.NewClusters(4096, classes, 1, 3, 3, 0.4, 53)
+	d, err := NewDistTrainer(DistConfig{Nodes: p, SubBatch: 2,
+		Solver:  core.SolverConfig{BaseLR: 0.05, Momentum: 0.9},
+		Overlap: true, BucketBytes: 1 << 10, Timeline: true}, mlpFactory(2, classes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for it := 0; it < 2; it++ {
+		d.LoadShards(ds, it)
+		d.Step()
+	}
+	if div := d.ParamsDiverged(); div != 0 {
+		t.Fatalf("replicas diverged by %g at p=%d", div, p)
+	}
+	st := d.LastStep
+	if st.Compute <= 0 || st.Comm <= 0 || st.StepTime < st.Compute {
+		t.Fatalf("degenerate StepStats at p=%d: %+v", p, st)
+	}
+	if st.Exposed >= st.Comm {
+		t.Fatalf("overlap exposed everything at p=%d: %+v", p, st)
+	}
+	for _, r := range []int{0, p - 1} {
+		if d.Node(r) == nil || !d.Node(r).Timeline() || d.Node(r).Launches() == 0 {
+			t.Fatalf("rank %d did not run on a timeline node", r)
+		}
+	}
+}
+
+// TestWeightedPassPlacementDeterministic pins the scheduler-cost-hint
+// wiring: pass launches carry the swdnn-plan-priced pass cost as their
+// scheduling weight on unpinned streams, so the least-loaded placement
+// (a) rotates deterministically over the four CG slots and (b) is
+// identical between two identically-configured trainers.
+func TestWeightedPassPlacementDeterministic(t *testing.T) {
+	const classes = 3
+	ds := dataset.NewClusters(500, classes, 1, 3, 3, 0.4, 59)
+	mk := func() *DistTrainer {
+		d, err := NewDistTrainer(DistConfig{Nodes: 2, SubBatch: 4,
+			Solver: core.SolverConfig{BaseLR: 0.05}}, mlpFactory(4, classes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	a, b := mk(), mk()
+	defer a.Close()
+	defer b.Close()
+	var seqA, seqB [][]int
+	seen := map[int]bool{}
+	for it := 0; it < 8; it++ {
+		a.LoadShards(ds, it)
+		b.LoadShards(ds, it)
+		a.Step()
+		b.Step()
+		pa, pb := a.PassPlacements(), b.PassPlacements()
+		if len(pa) != 2 || len(pb) != 2 {
+			t.Fatalf("iter %d: placements %v / %v", it, pa, pb)
+		}
+		seqA = append(seqA, pa)
+		seqB = append(seqB, pb)
+		for _, cg := range pa {
+			seen[cg] = true
+		}
+	}
+	for it := range seqA {
+		for w := range seqA[it] {
+			if seqA[it][w] != seqB[it][w] {
+				t.Fatalf("placement diverged between identical trainers at iter %d: %v vs %v", it, seqA[it], seqB[it])
+			}
+		}
+	}
+	// Equal per-step weights rotate the least-loaded choice across all
+	// four CG slots over 8 steps.
+	if len(seen) != 4 {
+		t.Fatalf("weighted placement used CG slots %v, want all 4", seen)
+	}
+}

@@ -1,9 +1,7 @@
 package train
 
 import (
-	"sync/atomic"
-
-	"swcaffe/internal/allreduce"
+	"swcaffe/internal/collective"
 	"swcaffe/internal/core"
 	"swcaffe/internal/perf"
 	"swcaffe/internal/simnet"
@@ -12,65 +10,23 @@ import (
 // Bucketed gradient overlap (paper Sec. V-A, ROADMAP "allreduce
 // pipelining"). Backward propagation produces layer gradients
 // last-to-first; instead of packing everything and barriering on one
-// all-reduce, the overlapped trainer groups parameters into buckets in
-// backward order and flushes each bucket's all-reduce the moment every
-// worker has produced it, while the remaining backward layers keep
-// computing. Real wall-clock overlap happens on the host (the
-// collective runs while worker goroutines are still in backward), and
-// the modeled timeline composes per-bucket communication behind the
-// per-layer backward costs priced on cfg.Device.
+// all-reduce, the overlapped trainer flushes each gradient bucket's
+// all-reduce the moment every worker has produced it, while the
+// remaining backward layers keep computing. Real wall-clock overlap
+// happens on the host (the collective runs while worker goroutines
+// are still in backward), and the modeled timeline composes
+// per-bucket communication behind the per-layer backward costs priced
+// on cfg.Device.
 //
-// Bit-exactness: each element of the packed gradient is reduced by the
-// same collective with the same cross-rank association order whether
-// it travels in one big vector or in its bucket, for element-uniform
-// algorithms (recursive halving/doubling, binomial tree). The
-// overlapped trainer therefore produces parameters bit-identical to
-// the barrier trainer — asserted by the test suite.
-
-// gradBucket is one flush unit: a run of learnable-parameter indices
-// (in backward production order) plus the forward index of the layer
-// whose backward completes the bucket.
-type gradBucket struct {
-	params     []int // indices into Net.LearnableParams(), flush order
-	elems      int
-	readyLayer int
-}
-
-// buildBuckets partitions the learnable parameters into buckets of at
-// most bucketBytes, walking layers in backward order.
-func buildBuckets(net *core.Net, bucketBytes int) []gradBucket {
-	type pinfo struct{ idx, layer, elems int }
-	var infos []pinfo
-	idx := 0
-	for li, l := range net.Layers() {
-		for _, p := range l.Params() {
-			if p.LRMult > 0 {
-				infos = append(infos, pinfo{idx: idx, layer: li, elems: p.Diff.Len()})
-				idx++
-			}
-		}
-	}
-	maxElems := bucketBytes / 4
-	if maxElems < 1 {
-		maxElems = 1
-	}
-	var out []gradBucket
-	var cur gradBucket
-	for i := len(infos) - 1; i >= 0; i-- {
-		pi := infos[i]
-		cur.params = append(cur.params, pi.idx)
-		cur.elems += pi.elems
-		cur.readyLayer = pi.layer
-		if cur.elems >= maxElems {
-			out = append(out, cur)
-			cur = gradBucket{}
-		}
-	}
-	if len(cur.params) > 0 {
-		out = append(out, cur)
-	}
-	return out
-}
+// The bucket construction, flush signalling, collective schedules and
+// timeline composition all live in internal/collective: the engine
+// partitions the packed gradient vector into contiguous buckets
+// (snapped to each algorithm's alignment — the ring gets chunk-aligned
+// buckets reduced with the full ring's per-chunk schedule, so every
+// algorithm is now bit-identical under overlap), and optionally
+// auto-selects the bucket cap from the α-β cost model. This trainer
+// only drives the protocol: launch passes, flush ready buckets,
+// unpack, compose stats.
 
 // ensureTimeline lazily prices the per-layer modeled compute timeline
 // shared by both trainer variants. The node-backed passes advance
@@ -94,85 +50,63 @@ func (t *DistTrainer) ensureTimeline() {
 	}
 }
 
-// ensureOverlapState builds the buckets and the staging reused across
-// Steps once: the per-worker bucket buffers plus the flush-loop
-// scaffolding (signal channels, counts, packed/reduced views) that
-// used to be rebuilt every Step.
-func (t *DistTrainer) ensureOverlapState() {
+// ensureEngine lazily builds the collective engine both step variants
+// flush through: the priced timeline feeds its auto-bucket selector
+// and makespan composition, and its per-rank packed staging replaces
+// the per-trainer buffers the pre-engine paths kept by hand.
+func (t *DistTrainer) ensureEngine() {
 	t.ensureTimeline()
-	if t.buckets != nil {
+	if t.engine != nil {
 		return
 	}
-	if t.cfg.BucketBytes <= 0 {
-		t.cfg.BucketBytes = DefaultBucketBytes
-	}
-	t.buckets = buildBuckets(t.Workers[0].Net, t.cfg.BucketBytes)
-	for _, w := range t.Workers {
-		w.bucketBufs = make([][]float32, len(t.buckets))
-		for b, bk := range t.buckets {
-			w.bucketBufs[b] = make([]float32, bk.elems)
+	net := t.Workers[0].Net
+	params := make([]collective.ParamInfo, 0, len(net.LearnableParams()))
+	for li, l := range net.Layers() {
+		for _, p := range l.Params() {
+			if p.LRMult > 0 {
+				params = append(params, collective.ParamInfo{Layer: li, Elems: p.Diff.Len()})
+			}
 		}
 	}
-	nw, nb := len(t.Workers), len(t.buckets)
-	t.ovReady = make([]chan struct{}, nb)
-	for b := range t.ovReady {
-		// Capacity-1 signal channel: the last-arriving worker sends one
-		// token, the flush loop consumes it, and the empty channel is
-		// ready for the next Step — no per-Step close/remake.
-		t.ovReady[b] = make(chan struct{}, 1)
+	eng, err := collective.New(collective.Config{
+		Params:        params,
+		Layers:        len(net.Layers()),
+		Ranks:         len(t.Workers),
+		Network:       t.cfg.Network,
+		ReduceOnCPE:   true,
+		LayerDone:     t.layerDone,
+		ComputeEnd:    t.computeEnd,
+		Algorithm:     t.cfg.Algorithm,
+		AlgorithmName: t.cfg.AlgorithmName,
+		BucketBytes:   t.cfg.BucketBytes,
+		AutoBucket:    t.cfg.AutoBucket,
+	})
+	if err != nil {
+		// Configuration errors are caught by NewDistTrainer; anything
+		// left is a programming error.
+		panic(err)
 	}
-	t.ovCounts = make([]int32, nb)
-	t.ovPacked = make([][]float32, nw)
-	t.ovReduced = make([][][]float32, nb)
-	for b := range t.ovReduced {
-		t.ovReduced[b] = make([][]float32, nw)
-	}
-	t.ovCommTimes = make([]float64, nb)
+	t.engine = eng
 }
 
 // stepOverlap is the bucketed-pipeline Step.
 func (t *DistTrainer) stepOverlap() float32 {
-	t.ensureOverlapState()
-	nw := len(t.Workers)
-	nb := len(t.buckets)
+	t.ensureEngine()
+	eng := t.engine
+	nb := len(eng.Buckets())
 	losses := t.losses
-	ready := t.ovReady
-	counts := t.ovCounts
-	for b := range counts {
-		counts[b] = 0
-		// Drain any token left by a Step that panicked between a
-		// bucket's completion and its consumption — a stale token would
-		// let this Step's flush loop read a bucket mid-copy.
-		select {
-		case <-ready[b]:
-		default:
-		}
-	}
+	eng.BeginStep()
 
 	// Each worker's pass runs as a launch on its simulated node. The
 	// launch is charged the whole priced pass cost in one tick (an
 	// incremental walk would rebuild computeEnd from float differences
 	// and shed bits); the per-layer production offsets of the modeled
-	// overlay come from layerDone, where the bucket hook flushes.
+	// overlay come from layerDone, where the engine flushes buckets.
 	join, failed := t.launchPasses(true, func(i int, w *Worker, tick func(float64)) {
 		w.Net.ZeroParamDiffs()
 		losses[i] = w.Net.Forward(core.Train)
-		params := w.Net.LearnableParams()
-		next := 0
 		w.Net.BackwardEach(core.Train, func(li int) {
-			for next < nb && t.buckets[next].readyLayer == li {
-				buf := w.bucketBufs[next]
-				off := 0
-				for _, pi := range t.buckets[next].params {
-					d := params[pi].Diff
-					copy(buf[off:], d.Data)
-					off += d.Len()
-				}
-				if atomic.AddInt32(&counts[next], 1) == int32(nw) {
-					ready[next] <- struct{}{}
-				}
-				next++
-			}
+			eng.Produce(i, li, w.diffs)
 		})
 		tick(t.computeEnd)
 	})
@@ -182,31 +116,28 @@ func (t *DistTrainer) stepOverlap() float32 {
 	// pass panic is recovered into its launch Event (node mode), so a
 	// poisoned worker can never complete a bucket: without the failed
 	// arm the loop would wait forever on a signal that cannot come.
-	reduced := t.ovReduced // [bucket][rank]
-	commTimes := t.ovCommTimes
+	//
+	// views is captured locally on purpose: ranks stranded by a failed
+	// collective keep reading through this snapshot, so the engine can
+	// re-allocate its staging for the next Step without racing them.
+	views := eng.RankViews()
 	flushErr := func() (r any) {
 		defer func() { r = recover() }()
 		for b := 0; b < nb; b++ {
 			select {
-			case <-ready[b]:
+			case <-eng.Ready(b):
 			case err := <-failed:
 				panic(err)
 			}
-			packed := t.ovPacked
-			for i, w := range t.Workers {
-				packed[i] = w.bucketBufs[b]
-			}
+			b := b
 			// Per-rank outputs return through the run's private storage
-			// (see RunGather) and are copied into the reused staging only
+			// (see RunGather) and are committed to the reused staging only
 			// on the clean path, so a rank stranded by a failed collective
 			// can never write into a recovered trainer's next Step.
 			res, outs := t.cluster.RunGather(func(n *simnet.Node) []float32 {
-				out := t.cfg.Algorithm(n, packed[n.Rank])
-				n.ChargeReduce(len(out))
-				return out
+				return eng.ReduceSeg(n, b, views[n.Rank])
 			})
-			copy(reduced[b], outs)
-			commTimes[b] = res.Time
+			eng.Commit(b, outs, res.Time)
 		}
 		return nil
 	}()
@@ -232,38 +163,15 @@ func (t *DistTrainer) stepOverlap() float32 {
 
 	// Average every bucket and update every replica identically.
 	for i, w := range t.Workers {
-		params := w.Net.LearnableParams()
-		for b := 0; b < nb; b++ {
-			vec := reduced[b][i]
-			allreduce.Scale(vec, nw)
-			off := 0
-			for _, pi := range t.buckets[b].params {
-				d := params[pi].Diff
-				copy(d.Data, vec[off:off+d.Len()])
-				off += d.Len()
-			}
-		}
+		eng.Unpack(i, w.diffs)
 		w.Solver.ApplyUpdate()
 	}
 	t.iter++
 
-	// Modeled timeline: chain the bucket collectives behind their
-	// production times on the node timelines (layerDone[readyLayer] is
-	// exactly where every node's CPE clock stood when the bucket was
-	// flushed); exposed communication is whatever outlives backward.
-	var commSum, commEnd float64
-	for b := 0; b < nb; b++ {
-		start := t.layerDone[t.buckets[b].readyLayer]
-		if commEnd > start {
-			start = commEnd
-		}
-		commEnd = start + commTimes[b]
-		commSum += commTimes[b]
-	}
-	stepTime := compute
-	if commEnd > stepTime {
-		stepTime = commEnd
-	}
+	// Modeled timeline: the engine chains the bucket collectives
+	// behind their production times on the node timelines; exposed
+	// communication is whatever outlives backward.
+	commSum, stepTime := eng.Compose(compute)
 	t.LastStep = StepStats{
 		Compute:  compute,
 		Comm:     commSum,
@@ -281,6 +189,15 @@ func (t *DistTrainer) stepOverlap() float32 {
 	return mean / float32(len(losses))
 }
 
-// Buckets reports the overlapped trainer's bucket count (0 before the
-// first overlapped Step).
-func (t *DistTrainer) Buckets() int { return len(t.buckets) }
+// Buckets reports the collective engine's bucket count (0 before the
+// first Step builds the engine).
+func (t *DistTrainer) Buckets() int {
+	if t.engine == nil {
+		return 0
+	}
+	return len(t.engine.Buckets())
+}
+
+// Engine exposes the trainer's collective engine (nil before the
+// first Step), for bucket-layout and auto-selection introspection.
+func (t *DistTrainer) Engine() *collective.Engine { return t.engine }

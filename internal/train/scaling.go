@@ -231,14 +231,22 @@ type FunctionalPoint struct {
 
 // FunctionalSweepConfig parameterizes FunctionalSweep.
 type FunctionalSweepConfig struct {
-	SubBatch    int // per-node mini-batch of the replicas build produces
-	Solver      core.SolverConfig
-	Overlap     bool
-	BucketBytes int
-	Iters       int // steps per point (default 2)
-	Algorithm   allreduce.Algorithm
-	Network     *topology.Network
-	Mapping     topology.Mapping
+	SubBatch      int // per-node mini-batch of the replicas build produces
+	Solver        core.SolverConfig
+	Overlap       bool
+	BucketBytes   int
+	AutoBucket    bool   // α-β auto-selected bucket cap (see DistConfig)
+	AlgorithmName string // named collective + bucketing strategy
+	Iters         int    // steps per point (default 2)
+	Algorithm     allreduce.Algorithm
+	Network       *topology.Network
+	Mapping       topology.Mapping
+
+	// Timeline runs the workers' simulated nodes in timeline-only mode
+	// (no CPE pools), which is what lets the sweep execute the cluster
+	// runtime at p in the hundreds; numerics and modeled StepStats are
+	// bit-identical to the pooled nodes.
+	Timeline bool
 }
 
 // FunctionalSweep runs the cluster runtime end to end at each node
@@ -256,8 +264,9 @@ func FunctionalSweep(build func() (*core.Net, map[string]*tensor.Tensor, error),
 	measure := func(p int) (StepStats, float32, error) {
 		tr, err := NewDistTrainer(DistConfig{
 			Nodes: p, SubBatch: cfg.SubBatch, Solver: cfg.Solver,
-			Overlap: cfg.Overlap, BucketBytes: cfg.BucketBytes,
-			Algorithm: cfg.Algorithm, Network: cfg.Network, Mapping: cfg.Mapping,
+			Overlap: cfg.Overlap, BucketBytes: cfg.BucketBytes, AutoBucket: cfg.AutoBucket,
+			Algorithm: cfg.Algorithm, AlgorithmName: cfg.AlgorithmName,
+			Network: cfg.Network, Mapping: cfg.Mapping, Timeline: cfg.Timeline,
 		}, build)
 		if err != nil {
 			return StepStats{}, 0, err

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"swcaffe/internal/allreduce"
+	"swcaffe/internal/collective"
 	"swcaffe/internal/core"
 	"swcaffe/internal/dataset"
 	"swcaffe/internal/perf"
@@ -38,8 +39,10 @@ type Worker struct {
 	stream *swnode.Stream
 	lastEv *swnode.Event
 
-	packBuf    []float32   // reused packed-gradient staging across Steps
-	bucketBufs [][]float32 // per-bucket staging for the overlapped trainer
+	// diffs caches the learnable-parameter gradient slices in pack
+	// order — the view the collective engine packs from and unpacks
+	// into.
+	diffs [][]float32
 }
 
 // DistConfig configures the functional SSGD trainer.
@@ -52,20 +55,38 @@ type DistConfig struct {
 	Algorithm allreduce.Algorithm
 
 	// Overlap selects the bucketed trainer: per-layer gradients are
-	// flushed into fixed-size buckets as backward produces them, and
-	// each bucket's all-reduce starts immediately, overlapping the
+	// flushed into buckets as backward produces them, and each
+	// bucket's all-reduce starts immediately, overlapping the
 	// remaining backward compute instead of barriering after it
-	// (paper Sec. V-A). Numerics are bit-identical to the barrier
-	// trainer for element-uniform algorithms (the default recursive
-	// halving/doubling and the binomial tree reduce every element with
-	// the same association order regardless of where it sits in the
-	// vector; the ring does not).
+	// (paper Sec. V-A). The collective engine keeps every algorithm
+	// bit-identical to the barrier trainer under overlap: element-
+	// uniform algorithms (the default recursive halving/doubling, the
+	// binomial tree, custom bodies) bucket freely, and the ring gets
+	// chunk-aligned buckets reduced with the full ring's per-chunk
+	// schedule (allreduce.RingSegment).
 	Overlap bool
+	// AlgorithmName selects a built-in collective by name (see
+	// allreduce.ByName) together with its bucketing strategy and cost
+	// model; empty selects recursive halving/doubling. Ignored when
+	// Algorithm supplies a custom body.
+	AlgorithmName string
 	// BucketBytes caps one gradient bucket (default 4 MB).
 	BucketBytes int
+	// AutoBucket overrides BucketBytes with the α-β selector's choice:
+	// the bucket cap minimizing the modeled exposed-communication
+	// estimate for this (topology, p, layer histogram) — see
+	// collective.SelectBucketBytes.
+	AutoBucket bool
 	// Device prices the per-layer compute of the modeled step timeline
 	// (default one SW26010 core group).
 	Device perf.Device
+
+	// Timeline runs each worker's simulated node in timeline-only mode
+	// (no CPE pools): passes execute on the host launch goroutine and
+	// are charged the identical priced cost, so numerics and StepStats
+	// stay bit-identical while a functional sweep can reach p in the
+	// hundreds. Ignored when HostMath is set.
+	Timeline bool
 
 	// HostMath disables the per-worker simulated nodes: passes run as
 	// plain host goroutines and the compute leg of StepStats comes from
@@ -80,10 +101,12 @@ type DistConfig struct {
 	HostMath bool
 }
 
-// DefaultBucketBytes is the overlapped trainer's bucket cap: large
-// enough to amortize the per-collective latency, small enough that
-// several buckets are in flight across a deep net's backward.
-const DefaultBucketBytes = 4 << 20
+// DefaultBucketBytes is the overlapped trainer's fixed bucket cap
+// when auto-selection is off (re-exported from the collective
+// engine): large enough to amortize the per-collective latency, small
+// enough that several buckets are in flight across a deep net's
+// backward.
+const DefaultBucketBytes = collective.DefaultBucketBytes
 
 // DistTrainer drives Algorithm 1 across simulated nodes: every
 // iteration each worker computes gradients on its own shard — as
@@ -113,32 +136,27 @@ type DistTrainer struct {
 
 	// Modeled per-layer timeline (lazily built from cfg.Device). The
 	// same priced costs drive both views of compute: layerDone feeds
-	// the overlap overlay, and each node pass-launch is charged exactly
-	// computeEnd, so the node timelines and the priced timeline agree
-	// bit for bit.
+	// the engine's overlap overlay and auto-bucket selector, and each
+	// node pass-launch is charged exactly computeEnd, so the node
+	// timelines and the priced timeline agree bit for bit.
 	layerDone  []float64 // layerDone[li]: modeled completion of layer li's backward
 	computeEnd float64   // modeled forward + full backward time
-	buckets    []gradBucket
+
+	// engine owns bucket construction, flush signalling, the per-rank
+	// packed staging and the makespan composition for both step
+	// variants (lazily built with the timeline).
+	engine *collective.Engine
 
 	// Reused per-Step staging (both paths must stay allocation-free at
 	// steady state; the DistStep -benchmem benches pin this).
-	losses  []float32
-	packed  [][]float32 // barrier: per-rank packed gradients
-	reduced [][]float32 // barrier: per-rank reduced output
-
-	ovReady     []chan struct{} // cap-1 flush signal per bucket, reused
-	ovCounts    []int32         // per-bucket arrival counts, reset per Step
-	ovPacked    [][]float32     // per-rank view of one bucket's staging
-	ovReduced   [][][]float32   // [bucket][rank] reduced outputs
-	ovCommTimes []float64       // per-bucket collective makespans
+	losses []float32
 
 	// commDirty is set when a collective panicked out of a Step. simnet
 	// does not join ranks stranded by a peer's failure, and those ranks
-	// still hold references into the reused input staging (packed views
-	// and the gradient buffers behind them) — so the next Step must
-	// re-allocate that staging and orphan the old buffers to them
-	// instead of racing them. Failure-path-only; the hot path stays
-	// allocation-free.
+	// still hold references into the engine's reused input staging —
+	// so the next Step must re-allocate that staging and orphan the
+	// old buffers to them instead of racing them. Failure-path-only;
+	// the hot path stays allocation-free.
 	commDirty bool
 }
 
@@ -164,13 +182,22 @@ func NewDistTrainer(cfg DistConfig, buildNet func() (*core.Net, map[string]*tens
 	if cfg.Mapping == nil {
 		cfg.Mapping = topology.RoundRobinMapping{Q: cfg.Network.SupernodeSize}
 	}
-	if cfg.Algorithm == nil {
-		cfg.Algorithm = allreduce.RecursiveHalvingDoubling
+	if cfg.Algorithm == nil && cfg.AlgorithmName != "" {
+		// The engine resolves the name again (with the matching
+		// bucketing strategy); validate it here so misconfiguration is
+		// an error, not a panic inside Step.
+		if _, err := allreduce.ByName(cfg.AlgorithmName); err != nil {
+			return nil, err
+		}
 	}
 	t := &DistTrainer{cfg: cfg, cluster: simnet.NewCluster(cfg.Network, cfg.Mapping, cfg.Nodes)}
 	t.cluster.ReduceOnCPE = true
 	if !cfg.HostMath {
-		t.nodes = swnode.NewCluster(cfg.Nodes, nil)
+		if cfg.Timeline {
+			t.nodes = swnode.NewTimelineCluster(cfg.Nodes, nil)
+		} else {
+			t.nodes = swnode.NewCluster(cfg.Nodes, nil)
+		}
 	}
 	for r := 0; r < cfg.Nodes; r++ {
 		net, inputs, err := buildNet()
@@ -183,12 +210,16 @@ func NewDistTrainer(cfg DistConfig, buildNet func() (*core.Net, map[string]*tens
 			Data:   inputs["data"],
 			Labels: inputs["label"],
 		}
+		for _, p := range net.LearnableParams() {
+			w.diffs = append(w.diffs, p.Diff.Data)
+		}
 		if t.nodes != nil {
 			// One pass at a time per worker: the node's 4-CG decomposition
 			// is collapsed into one functional pass (Algorithm 1 lines
-			// 3-8), launched on a stream pinned to CG0.
+			// 3-8). The stream is unpinned so the launch's plan-priced
+			// weight drives the deterministic least-loaded placement.
 			w.node = t.nodes.Node(r)
-			w.stream = w.node.PinnedStream(0)
+			w.stream = w.node.NewStream()
 		}
 		t.Workers = append(t.Workers, w)
 	}
@@ -206,6 +237,23 @@ func (t *DistTrainer) Node(rank int) *swnode.Node {
 		return nil
 	}
 	return t.nodes.Node(rank)
+}
+
+// PassPlacements reports, for each worker, which of its node's four
+// CoreGroup slots the most recent pass launch was placed on (nil in
+// HostMath mode, or before the first Step). Placement is decided by
+// the deterministic least-loaded scheduler from the launches'
+// plan-priced weights, so two identical trainers always report
+// identical sequences — pinned by the placement-determinism test.
+func (t *DistTrainer) PassPlacements() []int {
+	if t.nodes == nil || t.iter == 0 {
+		return nil
+	}
+	out := make([]int, len(t.Workers))
+	for i, w := range t.Workers {
+		out[i] = w.lastEv.CGIndex()
+	}
+	return out
 }
 
 // NodeStats sums the simulated activity across every worker's node
@@ -253,12 +301,29 @@ func (t *DistTrainer) launchPasses(watch bool, pass func(i int, w *Worker, tick 
 		// not silently skip their passes.
 		for _, w := range t.Workers {
 			if w.stream.Poisoned() {
-				w.stream = w.node.PinnedStream(0)
+				w.stream = w.node.NewStream()
 			}
 		}
+		// The launch weight is the swdnn-plan-priced pass cost, so the
+		// deterministic least-loaded scheduler places passes by modeled
+		// kernel cost rather than launch count (ensureTimeline has run
+		// by the time either step variant launches).
+		weight := t.computeEnd
+		timeline := t.nodes.Timeline()
 		for i, w := range t.Workers {
 			i, w := i, w
-			w.lastEv = w.stream.Launch(func(cg *sw26010.CoreGroup) float64 {
+			if timeline {
+				// Timeline-only node: the pass executes on the launch
+				// goroutine and is charged the identical priced cost the
+				// pooled path's CPE clock would accumulate.
+				w.lastEv = w.stream.LaunchFunc(weight, func() float64 {
+					var clock float64
+					pass(i, w, func(dt float64) { clock += dt })
+					return clock
+				})
+				continue
+			}
+			w.lastEv = w.stream.LaunchWeighted(weight, func(cg *sw26010.CoreGroup) float64 {
 				return cg.RunN(1, func(pe *sw26010.CPE) {
 					pass(i, w, pe.AdvanceClock)
 				})
@@ -341,30 +406,14 @@ func (t *DistTrainer) Step() float32 {
 // the stragglers (see commDirty).
 func (t *DistTrainer) resetCommStaging() {
 	t.commDirty = false
-	if t.packed != nil {
-		t.packed = make([][]float32, len(t.Workers))
-	}
-	for _, w := range t.Workers {
-		w.packBuf = nil
-	}
-	if t.buckets != nil {
-		t.ovPacked = make([][]float32, len(t.Workers))
-		for _, w := range t.Workers {
-			w.bucketBufs = make([][]float32, len(t.buckets))
-			for b, bk := range t.buckets {
-				w.bucketBufs[b] = make([]float32, bk.elems)
-			}
-		}
+	if t.engine != nil {
+		t.engine.ResetStaging()
 	}
 }
 
 func (t *DistTrainer) stepBarrier() float32 {
-	t.ensureTimeline()
-	nw := len(t.Workers)
-	if t.packed == nil {
-		t.packed = make([][]float32, nw)
-		t.reduced = make([][]float32, nw)
-	}
+	t.ensureEngine()
+	eng := t.engine
 	losses := t.losses
 	// Local forward/backward (the 4-CG compute of Algorithm 1 lines
 	// 3-8 collapses to one functional pass per node), one launch per
@@ -378,19 +427,19 @@ func (t *DistTrainer) stepBarrier() float32 {
 	join()
 	compute := t.stepCompute()
 
-	// Pack, all-reduce, average (Algorithm 1 line 9).
-	packed := t.packed
+	// Pack, all-reduce, average (Algorithm 1 line 9). views is
+	// captured locally so stranded ranks keep reading the orphaned
+	// staging after a failure-path reset (see stepOverlap).
 	for i, w := range t.Workers {
-		w.packBuf = w.Net.PackGradients(w.packBuf)
-		packed[i] = w.packBuf
+		eng.PackFull(i, w.diffs)
 	}
+	views := eng.RankViews()
 	// The per-rank outputs come back through the run's private storage
-	// (see RunGather): copying them into the reused staging only on the
-	// clean path keeps a rank stranded by a failed collective from ever
-	// writing into a recovered trainer's next Step. A failure marks the
-	// input staging dirty for the same reason, mirror-image: stranded
-	// ranks may still be reading it.
-	reduced := t.reduced
+	// (see RunGather): committing them to the reused staging only on
+	// the clean path keeps a rank stranded by a failed collective from
+	// ever writing into a recovered trainer's next Step. A failure
+	// marks the input staging dirty for the same reason, mirror-image:
+	// stranded ranks may still be reading it.
 	res, outs := func() (simnet.Result, [][]float32) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -399,18 +448,15 @@ func (t *DistTrainer) stepBarrier() float32 {
 			}
 		}()
 		return t.cluster.RunGather(func(n *simnet.Node) []float32 {
-			out := t.cfg.Algorithm(n, packed[n.Rank])
-			n.ChargeReduce(len(out)) // final averaging sweep on the CPEs
-			return out
+			return eng.ReduceFull(n, views[n.Rank])
 		})
 	}()
-	copy(reduced, outs)
+	eng.CommitFull(outs)
 	t.CommTime += res.Time
 
 	// Average and update every replica identically (line 10).
 	for i, w := range t.Workers {
-		allreduce.Scale(reduced[i], nw)
-		w.Net.UnpackGradients(reduced[i])
+		eng.UnpackFull(i, w.diffs)
 		w.Solver.ApplyUpdate()
 	}
 	t.iter++

@@ -2,19 +2,23 @@
 # bench.sh — benchmark regression harness. Runs the key simulator /
 # planner / trainer benchmarks with -benchmem, runs the simulated-time
 # invariance test, and writes the results as JSON (default
-# BENCH_PR3.json) extending the perf trajectory that future PRs are
-# judged against. PR 3 adds the multi-node cluster runtime: the
-# DistStep benches now run every worker's passes on its own simulated
-# swnode.Node, with HostMath variants isolating the node-timeline
-# overhead (modeled-us/step must be identical between the pairs).
+# BENCH_PR4.json) extending the perf trajectory that future PRs are
+# judged against. PR 4 adds the collective-engine DistStep variants:
+# ring vs RHD crossed with fixed-DefaultBucketBytes vs α-β auto-bucket
+# selection, plus the timeline-only node mode. The acceptance bar is
+# that OverlapAuto reports lower exposed-comm-us/step than
+# OverlapFixedDefault (for the ring the selector may legitimately tie
+# by choosing the single-bucket layout — the ring's 2(p-1)α latency
+# makes splitting a small gradient a loss, the very effect the paper
+# cites against the ring).
 #
 # Usage: scripts/bench.sh [output.json] [benchtime]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR3.json}"
+OUT="${1:-BENCH_PR4.json}"
 BENCHTIME="${2:-1s}"
-PATTERN='^(BenchmarkSimGEMM64|BenchmarkSimGEMM128|BenchmarkSimGEMMRagged|BenchmarkSimConvExplicit|BenchmarkConvPlanSelection|BenchmarkGEMMPlanWarm|BenchmarkGEMMPlanCold|BenchmarkTable2|BenchmarkSolverUpdate|BenchmarkAllreducePack|BenchmarkAllreduceScale|BenchmarkDistStepBarrier|BenchmarkDistStepOverlap|BenchmarkDistStepBarrierHostMath|BenchmarkDistStepOverlapHostMath|BenchmarkCGTrainerStep)$'
+PATTERN='^(BenchmarkSimGEMM64|BenchmarkSimGEMM128|BenchmarkSimGEMMRagged|BenchmarkSimConvExplicit|BenchmarkConvPlanSelection|BenchmarkGEMMPlanWarm|BenchmarkGEMMPlanCold|BenchmarkTable2|BenchmarkSolverUpdate|BenchmarkAllreducePack|BenchmarkAllreduceScale|BenchmarkDistStepBarrier|BenchmarkDistStepOverlap|BenchmarkDistStepBarrierHostMath|BenchmarkDistStepOverlapHostMath|BenchmarkDistStepOverlapFixedDefault|BenchmarkDistStepOverlapAuto|BenchmarkDistStepBarrierRing|BenchmarkDistStepOverlapRingFixedDefault|BenchmarkDistStepOverlapRingAuto|BenchmarkDistStepOverlapTimeline|BenchmarkCGTrainerStep)$'
 
 echo "== running invariance check (simulated times must match golden) =="
 if go test ./internal/swdnn/ -run 'TestEngineInvariance|TestEngineDeterminism' -count=1 >/dev/null 2>&1; then
@@ -47,7 +51,7 @@ echo "$RAW" | awk -v invariance="$INVARIANCE" -v date="$(date -u +%Y-%m-%dT%H:%M
 }
 END {
     printf "{\n"
-    printf "  \"pr\": 3,\n"
+    printf "  \"pr\": 4,\n"
     printf "  \"date\": \"%s\",\n", date
     printf "  \"invariance\": \"%s\",\n", invariance
     printf "  \"benchmarks\": {\n"
@@ -61,10 +65,10 @@ END {
         printf "}%s\n", (i < n-1 ? "," : "")
     }
     printf "  },\n"
-    printf "  \"pr2_reference\": {\n"
-    printf "    \"comment\": \"PR-2 numbers live in BENCH_PR2.json; DistStep there ran host math with a priced timeline\",\n"
-    printf "    \"BenchmarkDistStepBarrier\": {\"allocs_op\": 209, \"modeled_us_step\": 676.8},\n"
-    printf "    \"BenchmarkDistStepOverlap\": {\"allocs_op\": 270, \"modeled_us_step\": 636.7}\n"
+    printf "  \"pr3_reference\": {\n"
+    printf "    \"comment\": \"PR-3 numbers live in BENCH_PR3.json; DistStep modeled-us/step must be unchanged (676.8 barrier / 636.7 overlap) — the engine refactor is bit-compatible\",\n"
+    printf "    \"BenchmarkDistStepBarrier\": {\"modeled_us_step\": 676.8, \"exposed_comm_us_step\": 79.4},\n"
+    printf "    \"BenchmarkDistStepOverlap\": {\"modeled_us_step\": 636.7, \"exposed_comm_us_step\": 39.3}\n"
     printf "  }\n"
     printf "}\n"
 }' > "$OUT"
