@@ -21,6 +21,7 @@ import (
 	"swcaffe/internal/sw26010"
 	"swcaffe/internal/swdnn"
 	"swcaffe/internal/tensor"
+	"swcaffe/internal/topology"
 	"swcaffe/internal/train"
 )
 
@@ -362,6 +363,35 @@ func BenchmarkDistStepOverlapRingFixedDefault(b *testing.B) {
 
 func BenchmarkDistStepOverlapRingAuto(b *testing.B) {
 	benchDistTrainer(b, train.DistConfig{Overlap: true, AlgorithmName: allreduce.NameRing, AutoBucket: true})
+}
+
+// Hierarchical variants run on a 2-node-supernode adjacent-mapped
+// network (the stock q=256 would keep a 4-node bench inside one
+// supernode, degenerating the schedule) — barrier, overlap at the
+// fixed default cap, α-β auto-bucketed, and the full 2-D plan
+// selector ("auto" picks the algorithm too).
+func hierBenchConfig(cfg train.DistConfig) train.DistConfig {
+	netw := topology.Sunway()
+	netw.SupernodeSize = 2
+	cfg.Network = netw
+	cfg.Mapping = topology.AdjacentMapping{Q: 2}
+	return cfg
+}
+
+func BenchmarkDistStepBarrierHier(b *testing.B) {
+	benchDistTrainer(b, hierBenchConfig(train.DistConfig{AlgorithmName: allreduce.NameHierarchical}))
+}
+
+func BenchmarkDistStepOverlapHierFixedDefault(b *testing.B) {
+	benchDistTrainer(b, hierBenchConfig(train.DistConfig{Overlap: true, AlgorithmName: allreduce.NameHierarchical}))
+}
+
+func BenchmarkDistStepOverlapHierAuto(b *testing.B) {
+	benchDistTrainer(b, hierBenchConfig(train.DistConfig{Overlap: true, AlgorithmName: allreduce.NameHierarchical, AutoBucket: true}))
+}
+
+func BenchmarkDistStepOverlapAlgAuto(b *testing.B) {
+	benchDistTrainer(b, hierBenchConfig(train.DistConfig{Overlap: true, AlgorithmName: "auto"}))
 }
 
 // BenchmarkDistStepOverlapTimeline measures the timeline-only node

@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"text/tabwriter"
 
 	"swcaffe/internal/allreduce"
 	"swcaffe/internal/collective"
@@ -40,9 +41,10 @@ func bucketAdvisory(p int, nBytes float64) {
 	for l := 0; l < layers; l++ {
 		done[l] = backward * float64(layers-l) / layers
 	}
+	mapping := topology.RoundRobinMapping{Q: netw.SupernodeSize}
 	fmt.Printf("\n=== auto-bucket advisory: p=%d, %.4g bytes, backward window %.4fs ===\n", p, nBytes, backward)
-	for _, name := range []string{allreduce.NameRing, allreduce.NameBinomial, allreduce.NameRHD} {
-		strat, err := collective.StrategyFor(name, nil)
+	for _, name := range collective.AutoAlgorithms {
+		strat, err := collective.StrategyFor(name, nil, mapping)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -50,18 +52,63 @@ func bucketAdvisory(p int, nBytes float64) {
 		bytes, exposed := collective.SelectBucketBytes(strat, netw, p, true, params, layers, done, backward)
 		fmt.Printf("%-28s bucket %8d KB  est. exposed comm %.6fs\n", name, bytes>>10, exposed)
 	}
+	if plan, err := collective.SelectPlan(netw, mapping, p, true, params, layers, done, backward); err == nil {
+		fmt.Printf("SelectPlan would run: %s with %d KB buckets (est. exposed %.6fs)\n",
+			plan.Algorithm, plan.BucketBytes>>10, plan.Exposed)
+	}
+}
+
+// crossingsTable runs every algorithm live under both rank mappings
+// on a q-sized-supernode cluster and reports the simulated makespan
+// next to the traffic that actually crossed supernode boundaries —
+// the column that makes the hierarchy win legible: the round-robin
+// renumbering moves RHD's crossings to the cheap rounds (fewer bytes,
+// same messages), while the hierarchical schedule eliminates all but
+// the leaders' 1/g-sized exchanges under either mapping.
+func crossingsTable(p, q int, nBytes float64) {
+	netw := topology.Sunway()
+	netw.SupernodeSize = q
+	fmt.Printf("\n=== supernode crossings: p=%d, q=%d, %.4g bytes (live simulation) ===\n", p, q, nBytes)
+	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\tmapping\tmakespan\tcross msgs\tcross MB\ttotal msgs")
+	for _, name := range allreduce.Names() {
+		a, err := allreduce.ByName(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		for _, m := range []topology.Mapping{
+			topology.AdjacentMapping{Q: q},
+			topology.RoundRobinMapping{Q: q},
+		} {
+			cl := simnet.NewCluster(netw, m, p)
+			cl.ReduceOnCPE = true
+			length := 4096
+			cl.BytesPerElem = nBytes / float64(length)
+			inputs := make([][]float32, p)
+			for r := range inputs {
+				inputs[r] = make([]float32, length)
+			}
+			res := cl.Run(func(n *simnet.Node) { a(n, inputs[n.Rank]) })
+			fmt.Fprintf(tw, "%s\t%s\t%.6fs\t%d\t%.1f\t%d\n",
+				name, m.Name(), res.Time, res.CrossMsgs, float64(res.CrossBytes)/1e6, res.Msgs)
+		}
+	}
+	tw.Flush()
 }
 
 func main() {
 	nodes := flag.Int("nodes", 64, "simulated node count for the live run")
 	bytes := flag.Float64("bytes", 232.6e6, "gradient size in bytes (AlexNet = 232.6e6)")
-	alg := flag.String("alg", allreduce.NameRHD, "algorithm: ring | binomial-tree | recursive-halving-doubling")
+	alg := flag.String("alg", allreduce.NameRHD, "algorithm: ring | binomial-tree | recursive-halving-doubling | hierarchical (hier)")
+	q := flag.Int("q", 16, "supernode size for the crossings table (TaihuLight's q=256 needs -nodes > 256 to cross)")
 	flag.Parse()
 
 	experiments.Figure6(os.Stdout)
 	experiments.Figure7(os.Stdout, *bytes)
 	experiments.AllreduceAblation(os.Stdout)
 	bucketAdvisory(*nodes, *bytes)
+	crossingsTable(*nodes, *q, *bytes)
 
 	fmt.Printf("\n=== live simulated run: %s, p=%d, %.4g bytes ===\n", *alg, *nodes, *bytes)
 	a, err := allreduce.ByName(*alg)

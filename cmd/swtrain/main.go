@@ -9,7 +9,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"swcaffe/internal/allreduce"
+	"swcaffe/internal/collective"
 	"swcaffe/internal/core"
 	"swcaffe/internal/dataset"
 	"swcaffe/internal/netdef"
@@ -53,10 +56,20 @@ func main() {
 	overlap := flag.Bool("overlap", false, "multi-node: bucketed gradient flush overlapping the all-reduce with backward (vs the pack/reduce/unpack barrier)")
 	bucketKB := flag.Int("bucket-kb", 0, "overlap bucket size in KB (0 = default)")
 	autoBucket := flag.Bool("auto-bucket", false, "multi-node: let the collective engine pick the bucket size from the α-β cost model (overrides -bucket-kb)")
-	alg := flag.String("alg", "", "multi-node all-reduce: ring | binomial-tree | recursive-halving-doubling (default RHD; the engine keeps every choice bit-identical under -overlap)")
+	alg := flag.String("alg", "", "multi-node all-reduce: ring | binomial-tree | recursive-halving-doubling | hierarchical (hier) | auto (default RHD; auto lets the engine's plan selector pick the algorithm and bucket cap; the engine keeps every choice bit-identical under -overlap)")
 	hostMath := flag.Bool("hostmath", false, "multi-node: run worker passes as host goroutines instead of launches on per-worker simulated swnode.Nodes (numerics identical; skips the node timelines)")
 	timeline := flag.Bool("timeline", false, "multi-node: timeline-only simulated nodes (no CPE pools) — identical numerics and StepStats, scales to hundreds of nodes")
 	flag.Parse()
+
+	// Validate -alg up front: an unknown name lists the registry
+	// instead of surfacing a bare construction error.
+	if *alg != "" && allreduce.Canonical(*alg) != collective.NameAuto {
+		if _, err := allreduce.ByName(*alg); err != nil {
+			fmt.Fprintf(os.Stderr, "swtrain: unknown -alg %q; valid: %s | %s\n",
+				*alg, strings.Join(allreduce.Names(), " | "), collective.NameAuto)
+			os.Exit(2)
+		}
+	}
 
 	ds := dataset.NewClusters(4096, *classes, 1, 8, 8, 0.35, 42)
 	solverCfg := core.SolverConfig{BaseLR: *lr, Momentum: 0.9, WeightDecay: 5e-4}
@@ -180,6 +193,10 @@ func main() {
 		}
 		fmt.Printf("collective engine: %s strategy, %s bucket cap %d KB, %d buckets over %d gradient elements\n",
 			eng.StrategyName(), sel, eng.BucketBytes()>>10, trainer.Buckets(), eng.TotalElems())
+		if plan := eng.Plan(); plan != nil {
+			fmt.Printf("plan selector: chose %s over %v (est. exposed comm %.6fs)\n",
+				plan.Algorithm, collective.AutoAlgorithms, plan.Exposed)
+		}
 	}
 	if !*hostMath {
 		fmt.Printf("cluster runtime: %d simulated nodes, modeled compute %.4fs, node-timeline frontier %.4fs, %d launches on rank 0\n",

@@ -35,6 +35,7 @@ func main() {
 				{"binomial", allreduce.BinomialCost(net, p, nBytes, true).Total()},
 				{"rhd", allreduce.OriginalRHDCost(net, p, nBytes, true).Total()},
 				{"rhd+topo", allreduce.ImprovedRHDCost(net, p, nBytes, true).Total()},
+				{"hier", allreduce.HierarchicalCost(net, p, nBytes, true).Total()},
 			}
 			best := cands[0]
 			for _, c := range cands[1:] {

@@ -21,22 +21,44 @@ type Algorithm func(n *simnet.Node, data []float32) []float32
 
 // Algorithm names for harness output.
 const (
-	NameRing     = "ring"
-	NameBinomial = "binomial-tree"
-	NameRHD      = "recursive-halving-doubling"
+	NameRing         = "ring"
+	NameBinomial     = "binomial-tree"
+	NameRHD          = "recursive-halving-doubling"
+	NameHierarchical = "hierarchical"
 )
+
+// Names lists the registered all-reduce algorithms — the spellings
+// ByName accepts (CLIs print this when rejecting an unknown name).
+func Names() []string {
+	return []string{NameRing, NameBinomial, NameRHD, NameHierarchical}
+}
+
+// Canonical resolves CLI shorthand to a registered algorithm name
+// ("hier" → "hierarchical", "rhd" → the full MPICH spelling); other
+// strings, including the empty default, pass through unchanged.
+func Canonical(name string) string {
+	switch name {
+	case "hier":
+		return NameHierarchical
+	case "rhd":
+		return NameRHD
+	}
+	return name
+}
 
 // ByName returns a named algorithm.
 func ByName(name string) (Algorithm, error) {
-	switch name {
+	switch Canonical(name) {
 	case NameRing:
 		return Ring, nil
 	case NameBinomial:
 		return BinomialTree, nil
 	case NameRHD:
 		return RecursiveHalvingDoubling, nil
+	case NameHierarchical:
+		return Hierarchical, nil
 	default:
-		return nil, fmt.Errorf("allreduce: unknown algorithm %q", name)
+		return nil, fmt.Errorf("allreduce: unknown algorithm %q (valid: %v)", name, Names())
 	}
 }
 

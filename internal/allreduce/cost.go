@@ -40,13 +40,15 @@ type CostFunc func(net *topology.Network, p int, nBytes float64, onCPE bool) Cos
 // DefaultBucketBytes heuristic: small nets get buckets small enough to
 // pipeline at all, huge nets avoid drowning in per-collective latency.
 func CostByName(name string) (CostFunc, error) {
-	switch name {
+	switch Canonical(name) {
 	case NameRing:
 		return RingCost, nil
 	case NameBinomial:
 		return BinomialCost, nil
 	case NameRHD, "":
 		return ImprovedRHDCost, nil
+	case NameHierarchical:
+		return HierarchicalCost, nil
 	default:
 		return nil, fmt.Errorf("allreduce: no cost model for algorithm %q", name)
 	}
@@ -121,6 +123,79 @@ func rhdCostFlat(net *topology.Network, p int, nBytes float64, onCPE bool, beta 
 		Intra:     2 * (fp - 1) / fp * nBytes * beta,
 		Reduction: (fp - 1) / fp * nBytes * gammaOf(net, onCPE),
 	}
+}
+
+// HierarchicalCost prices the topology-hierarchical all-reduce of
+// Hierarchical, parameterized by the supernode size q and the
+// Beta1/Beta2 split. With S = ceil(p/q) supernodes of g = p/S members
+// each:
+//
+//	phase A (intra reduce-scatter): (g−1)·α + (g−1)/g·n·β1 + (g−1)/g·n·γ
+//	phase B (leader RHD, n/g chunk): 2·log2(S)·α + 2·(S−1)/S·(n/g)·β2
+//	                                 + (S−1)/S·(n/g)·γ
+//	phase C (intra allgather):       (g−1)·α + (g−1)/g·n·β1
+//
+// The β2 exposure is the schedule's whole point: only n/g bytes per
+// leader ever cross the over-subscribed central switch, versus the
+// 2(p−q)/p·n of adjacent-mapped flat RHD (Eqn. 4) — and unlike the
+// round-robin renumbering the win needs no control over rank
+// placement. The price is the ring-like (g−1) latency factor of the
+// intra phases, which is why the engine's plan selector keeps flat
+// RHD for p ≤ q (phase B vanishes there and the flat algorithm's
+// 2·log2(p) latency wins outright).
+func HierarchicalCost(net *topology.Network, p int, nBytes float64, onCPE bool) Cost {
+	q := net.SupernodeSize
+	if q < 1 {
+		q = 1
+	}
+	S := (p + q - 1) / q
+	return HierarchicalSegmentCost(net, p, nBytes, float64(p)/float64(S), onCPE)
+}
+
+// HierarchicalSegmentCost prices a hierarchical flush whose vector
+// spans m of the schedule's leader chunks — the granularity-aware
+// form behind the collective engine's bucket pricing. A whole-vector
+// flush spreads its g chunks' ownership across the group, so every
+// tournament round moves n/g bytes (HierarchicalCost, the m = g
+// case); a bucket covering fewer chunks concentrates ownership — its
+// per-round transfer unit is the larger n/m, and a single-chunk
+// bucket funnels all g−1 contributions through one owner. Pricing
+// that concentration honestly is what keeps the auto-bucket selector
+// from splitting hierarchical flushes into buckets that look cheap
+// under the whole-vector formula but serialize on their owners.
+func HierarchicalSegmentCost(net *topology.Network, p int, nBytes, m float64, onCPE bool) Cost {
+	if p <= 1 {
+		return Cost{}
+	}
+	q := net.SupernodeSize
+	if q < 1 {
+		q = 1
+	}
+	S := (p + q - 1) / q
+	fS := float64(S)
+	fg := float64(p) / fS
+	if m < 1 {
+		m = 1
+	}
+	if m > fg {
+		m = fg
+	}
+	unit := nBytes / m // bytes per leader chunk
+	gamma := gammaOf(net, onCPE)
+	var c Cost
+	if fg > 1 {
+		alphaIntra := net.Alpha(int64(unit))
+		c.Latency += 2 * (fg - 1) * alphaIntra
+		c.Intra = 2 * (fg - 1) * unit * net.Beta1
+		c.Reduction += (fg - 1) * unit * gamma
+	}
+	if S > 1 {
+		alphaInter := net.Alpha(int64(unit / fS))
+		c.Latency += 2 * math.Log2(fS) * alphaInter
+		c.Inter = 2 * (fS - 1) / fS * unit * net.Beta2
+		c.Reduction += (fS - 1) / fS * unit * gamma
+	}
+	return c
 }
 
 // RingCost prices the ring all-reduce: 2(p−1) rounds of n/p bytes.

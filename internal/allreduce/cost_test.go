@@ -139,13 +139,53 @@ func TestPackedBeatsPerLayer(t *testing.T) {
 
 func TestCostMonotonicity(t *testing.T) {
 	net := topology.Sunway()
-	prev := 0.0
-	for _, n := range []float64{1e3, 1e5, 1e7, 1e9} {
-		c := ImprovedRHDCost(net, 1024, n, true).Total()
-		if c <= prev {
-			t.Fatalf("cost not increasing with message size at %g", n)
+	for name, cost := range map[string]CostFunc{
+		"rhd": ImprovedRHDCost, "hierarchical": HierarchicalCost,
+		"ring": RingCost, "binomial": BinomialCost,
+	} {
+		prev := 0.0
+		for _, n := range []float64{1e3, 1e5, 1e7, 1e9} {
+			c := cost(net, 1024, n, true).Total()
+			if c <= prev {
+				t.Fatalf("%s: cost not increasing with message size at %g", name, n)
+			}
+			prev = c
 		}
-		prev = c
+	}
+}
+
+// TestHierarchicalCostStructure pins the closed form's shape: no β2
+// exposure within one supernode (p ≤ q, phase B vanishes), the β2
+// coefficient shrinking to 2(S−1)/S of an n/g chunk beyond it, and —
+// the acceptance bar of the hierarchical strategy — a smaller total
+// than adjacent-mapped flat RHD (Eqn. 4) once supernodes are crossed
+// at TaihuLight scale.
+func TestHierarchicalCostStructure(t *testing.T) {
+	net := topology.Sunway()
+	n := 232.6e6
+	for _, p := range []int{2, 64, 256} { // p <= q: one supernode
+		c := HierarchicalCost(net, p, n, true)
+		if c.Inter != 0 {
+			t.Fatalf("p=%d <= q: hierarchical has β2 exposure %g", p, c.Inter)
+		}
+		// Never strictly better than flat RHD here: its (g−1) α factor
+		// loses for p > 2 and exactly ties at p = 2, so the plan
+		// selector's flat-first tie-break keeps the flat algorithm.
+		if flat := ImprovedRHDCost(net, p, n, true).Total(); c.Total() < flat {
+			t.Fatalf("p=%d <= q: hierarchical (%g) beats flat RHD (%g)", p, c.Total(), flat)
+		}
+	}
+	for _, p := range []int{512, 1024, 4096} { // p > q: hierarchy pays off
+		c := HierarchicalCost(net, p, n, true)
+		S := float64((p + net.SupernodeSize - 1) / net.SupernodeSize)
+		g := float64(p) / S
+		wantInter := 2 * (S - 1) / S * (n / g) * net.Beta2
+		if math.Abs(c.Inter-wantInter)/wantInter > 1e-9 {
+			t.Fatalf("p=%d: Inter %g, want %g", p, c.Inter, wantInter)
+		}
+		if flat := OriginalRHDCost(net, p, n, true).Total(); c.Total() >= flat {
+			t.Fatalf("p=%d: hierarchical (%g) must beat adjacent-mapped flat RHD (%g)", p, c.Total(), flat)
+		}
 	}
 }
 
@@ -180,9 +220,20 @@ func TestPacker(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{NameRing, NameBinomial, NameRHD} {
+	for _, name := range Names() {
 		if _, err := ByName(name); err != nil {
 			t.Errorf("%s: %v", name, err)
+		}
+		if _, err := CostByName(name); err != nil {
+			t.Errorf("cost %s: %v", name, err)
+		}
+	}
+	for alias, want := range map[string]string{"hier": NameHierarchical, "rhd": NameRHD, "ring": NameRing} {
+		if got := Canonical(alias); got != want {
+			t.Errorf("Canonical(%q) = %q, want %q", alias, got, want)
+		}
+		if _, err := ByName(alias); err != nil {
+			t.Errorf("alias %s: %v", alias, err)
 		}
 	}
 	if _, err := ByName("bogus"); err == nil {

@@ -16,6 +16,25 @@ import (
 // are in flight across a deep net's backward.
 const DefaultBucketBytes = 4 << 20
 
+// NameAuto is the Config.AlgorithmName directive that hands the
+// algorithm choice itself to the plan selector: the engine runs
+// SelectPlan over (AutoAlgorithms × bucket caps) and installs the
+// winning strategy and cap.
+const NameAuto = "auto"
+
+// AutoAlgorithms is the candidate list SelectPlan sweeps, in
+// tie-break order: an exact tie on the exposed-communication estimate
+// goes to the earlier entry. Flat RHD leads so the degenerate shapes
+// (p ≤ q, where the hierarchical schedule collapses to a ring-latency
+// flat all-reduce and can at best tie) fall back to the flat
+// algorithm, exactly as the paper's baseline would behave.
+var AutoAlgorithms = []string{
+	allreduce.NameRHD,
+	allreduce.NameHierarchical,
+	allreduce.NameRing,
+	allreduce.NameBinomial,
+}
+
 // ParamInfo describes one learnable parameter of the packed gradient
 // vector: the forward index of the layer that produces its gradient
 // and its element count. Parameters appear in pack (layer) order.
@@ -44,6 +63,12 @@ type Config struct {
 
 	Network     *topology.Network
 	ReduceOnCPE bool
+	// Mapping is the rank-to-supernode mapping of the executing
+	// cluster (nil = the trainer default round-robin at TaihuLight q).
+	// The hierarchical strategy's chunk partition and the selector's
+	// flat-RHD pricing both depend on it, so it must match the simnet
+	// cluster the flushes run on.
+	Mapping topology.Mapping
 
 	// LayerDone[l] is the modeled completion time of layer l's
 	// backward; ComputeEnd the full forward+backward time. They drive
@@ -53,7 +78,9 @@ type Config struct {
 
 	// Algorithm is an optional custom collective body (assumed
 	// element-uniform); AlgorithmName selects a built-in strategy
-	// (ring gets chunk-aligned bucketing). Empty name = RHD.
+	// (ring and hierarchical get chunk-aligned bucketing). Empty name
+	// = RHD; NameAuto lets SelectPlan choose the algorithm — not just
+	// the bucket cap — from the α-β cost models.
 	Algorithm     allreduce.Algorithm
 	AlgorithmName string
 
@@ -73,6 +100,7 @@ type Config struct {
 type Engine struct {
 	cfg   Config
 	strat Strategy
+	plan  *Plan // non-nil when AlgorithmName was NameAuto
 
 	total int   // packed vector length, elements
 	offs  []int // global offset of each param
@@ -111,11 +139,10 @@ func New(cfg Config) (*Engine, error) {
 	if len(cfg.LayerDone) != cfg.Layers {
 		return nil, fmt.Errorf("collective: %d layer times for %d layers", len(cfg.LayerDone), cfg.Layers)
 	}
-	strat, err := StrategyFor(cfg.AlgorithmName, cfg.Algorithm)
-	if err != nil {
-		return nil, err
+	if cfg.Mapping == nil {
+		cfg.Mapping = topology.RoundRobinMapping{Q: cfg.Network.SupernodeSize}
 	}
-	e := &Engine{cfg: cfg, strat: strat}
+	e := &Engine{cfg: cfg}
 	e.offs = make([]int, len(cfg.Params))
 	for i, p := range cfg.Params {
 		if p.Elems <= 0 || p.Layer < 0 || p.Layer >= cfg.Layers {
@@ -129,14 +156,35 @@ func New(cfg Config) (*Engine, error) {
 		e.layerParams[p.Layer] = append(e.layerParams[p.Layer], i)
 	}
 
-	e.bucketBytes = cfg.BucketBytes
-	if cfg.AutoBucket {
-		e.bucketBytes, e.autoExposed = SelectBucketBytes(strat, cfg.Network, cfg.Ranks, cfg.ReduceOnCPE,
+	if allreduce.Canonical(cfg.AlgorithmName) == NameAuto && cfg.Algorithm == nil {
+		// 2-D selection: the plan picks the (algorithm, bucket cap)
+		// pair minimizing the modeled exposed communication.
+		plan, err := SelectPlan(cfg.Network, cfg.Mapping, cfg.Ranks, cfg.ReduceOnCPE,
 			cfg.Params, cfg.Layers, cfg.LayerDone, cfg.ComputeEnd)
-	} else if e.bucketBytes <= 0 {
-		e.bucketBytes = DefaultBucketBytes
+		if err != nil {
+			return nil, err
+		}
+		e.plan = &plan
+		e.strat, err = StrategyFor(plan.Algorithm, nil, cfg.Mapping)
+		if err != nil {
+			return nil, err
+		}
+		e.bucketBytes, e.autoExposed = plan.BucketBytes, plan.Exposed
+	} else {
+		strat, err := StrategyFor(cfg.AlgorithmName, cfg.Algorithm, cfg.Mapping)
+		if err != nil {
+			return nil, err
+		}
+		e.strat = strat
+		e.bucketBytes = cfg.BucketBytes
+		if cfg.AutoBucket {
+			e.bucketBytes, e.autoExposed = SelectBucketBytes(strat, cfg.Network, cfg.Ranks, cfg.ReduceOnCPE,
+				cfg.Params, cfg.Layers, cfg.LayerDone, cfg.ComputeEnd)
+		} else if e.bucketBytes <= 0 {
+			e.bucketBytes = DefaultBucketBytes
+		}
 	}
-	e.buckets = layoutBuckets(strat, cfg.Params, e.offs, e.total, cfg.Ranks, e.bucketBytes, cfg.Layers)
+	e.buckets = layoutBuckets(e.strat, cfg.Params, e.offs, e.total, cfg.Ranks, e.bucketBytes, cfg.Layers)
 
 	nb, nw := len(e.buckets), cfg.Ranks
 	e.ready = make([]chan struct{}, nb)
@@ -173,10 +221,15 @@ func (e *Engine) Buckets() []Bucket { return e.buckets }
 // auto-selected size.
 func (e *Engine) BucketBytes() int { return e.bucketBytes }
 
-// Auto reports whether the cap was chosen by the α-β selector, and
+// Auto reports whether the cap was chosen by the α-β selector —
+// either Config.AutoBucket or the full 2-D plan selection — and
 // AutoExposed the selector's exposed-communication estimate for it.
-func (e *Engine) Auto() bool           { return e.cfg.AutoBucket }
+func (e *Engine) Auto() bool           { return e.cfg.AutoBucket || e.plan != nil }
 func (e *Engine) AutoExposed() float64 { return e.autoExposed }
+
+// Plan returns the 2-D selector's decision, or nil when the algorithm
+// was fixed by configuration rather than chosen by SelectPlan.
+func (e *Engine) Plan() *Plan { return e.plan }
 
 // StrategyName names the active bucketing strategy.
 func (e *Engine) StrategyName() string { return e.strat.Name() }
@@ -417,6 +470,43 @@ func layerParamsAt(params []ParamInfo, li int) []int {
 	return out
 }
 
+// Plan is a selected collective execution plan: the algorithm, its
+// bucket cap, and the selector's modeled exposed-communication
+// estimate for the pair.
+type Plan struct {
+	Algorithm   string
+	BucketBytes int
+	Exposed     float64
+}
+
+// SelectPlan is the 2-D plan selector behind Config.AlgorithmName =
+// NameAuto: it runs the auto-bucket sweep of SelectBucketBytes for
+// every candidate in AutoAlgorithms and returns the (algorithm,
+// bucket cap) pair minimizing the modeled exposed communication.
+// Tie-breaks are documented and deterministic: an exact tie on the
+// exposed estimate goes to the earlier AutoAlgorithms entry (flat RHD
+// first, so degenerate hierarchy shapes fall back to the flat
+// algorithm), and within one algorithm to the larger cap (fewer
+// collectives, fewer α latencies — SelectBucketBytes's rule). The
+// decision depends only on (network topology, mapping, p, the
+// layer-size histogram, the priced backward timeline) — never on host
+// parallelism — so it is GOMAXPROCS-deterministic.
+func SelectPlan(netw *topology.Network, mapping topology.Mapping, p int, onCPE bool,
+	params []ParamInfo, layers int, layerDone []float64, computeEnd float64) (Plan, error) {
+	var best Plan
+	for i, name := range AutoAlgorithms {
+		strat, err := StrategyFor(name, nil, mapping)
+		if err != nil {
+			return Plan{}, err
+		}
+		bytes, exposed := SelectBucketBytes(strat, netw, p, onCPE, params, layers, layerDone, computeEnd)
+		if i == 0 || exposed < best.Exposed {
+			best = Plan{Algorithm: name, BucketBytes: bytes, Exposed: exposed}
+		}
+	}
+	return best, nil
+}
+
 // SelectBucketBytes is the auto-bucket selector: it sweeps candidate
 // bucket caps, prices each candidate's flush sequence with the
 // strategy's closed-form α-β cost model, composes the overlapped
@@ -450,7 +540,7 @@ func SelectBucketBytes(strat Strategy, netw *topology.Network, p int, onCPE bool
 		bks := layoutBuckets(strat, params, offs, total, p, cand, layers)
 		var commEnd float64
 		for _, bk := range bks {
-			c := strat.Cost(netw, p, float64(bk.Elems()*4), onCPE).Total()
+			c := strat.Cost(netw, p, bk.Lo, bk.Hi, total, onCPE).Total()
 			start := layerDone[bk.ReadyLayer]
 			if commEnd > start {
 				start = commEnd

@@ -204,7 +204,7 @@ func TestAutoBucketBeatsFixedDefault(t *testing.T) {
 		{Layer: 4, Elems: 9000}, {Layer: 6, Elems: 123},
 	}
 	done, end := uniformTimeline(8, 1e-4)
-	strat, err := StrategyFor(allreduce.NameRHD, nil)
+	strat, err := StrategyFor(allreduce.NameRHD, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +223,7 @@ func TestAutoBucketBeatsFixedDefault(t *testing.T) {
 	}
 	var commEnd float64
 	for _, bk := range layoutBuckets(strat, params, offs, total, 8, DefaultBucketBytes, 8) {
-		c := strat.Cost(netw, 8, float64(bk.Elems()*4), true).Total()
+		c := strat.Cost(netw, 8, bk.Lo, bk.Hi, total, true).Total()
 		start := done[bk.ReadyLayer]
 		if commEnd > start {
 			start = commEnd
@@ -267,5 +267,164 @@ func TestEngineConfigValidation(t *testing.T) {
 		if _, err := New(cfg); err == nil {
 			t.Fatalf("%s: accepted", name)
 		}
+	}
+}
+
+// adjacentConfig builds a test Config on a q-sized-supernode Sunway
+// network under the adjacent mapping — the shape where hierarchy pays.
+func adjacentConfig(params []ParamInfo, layers, ranks, q int, name string) Config {
+	cfg := testConfig(params, layers, ranks, name)
+	netw := topology.Sunway()
+	netw.SupernodeSize = q
+	cfg.Network = netw
+	cfg.Mapping = topology.AdjacentMapping{Q: q}
+	return cfg
+}
+
+// TestHierBucketsChunkAligned: with the hierarchical strategy every
+// interior bucket boundary must land on the leader-chunk partition
+// HierChunkBounds(total, MinGroupSize) — including ragged group sizes
+// where the partition is coarser than the rank count.
+func TestHierBucketsChunkAligned(t *testing.T) {
+	for _, tc := range []struct{ ranks, q int }{{4, 2}, {6, 2}, {6, 3}, {8, 4}} {
+		params := []ParamInfo{
+			{Layer: 0, Elems: 817}, {Layer: 0, Elems: 13},
+			{Layer: 2, Elems: 2048}, {Layer: 4, Elems: 331}, {Layer: 6, Elems: 7},
+		}
+		cfg := adjacentConfig(params, 8, tc.ranks, tc.q, allreduce.NameHierarchical)
+		cfg.BucketBytes = 1 << 10
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkBuckets(t, e)
+		K := topology.MinGroupSize(cfg.Mapping, tc.ranks)
+		bounds := map[int]bool{}
+		for _, b := range allreduce.HierChunkBounds(e.TotalElems(), K) {
+			bounds[b] = true
+		}
+		for _, bk := range e.Buckets() {
+			if !bounds[bk.Lo] || !bounds[bk.Hi] {
+				t.Fatalf("ranks=%d q=%d: bucket %+v not on leader-chunk bounds %v",
+					tc.ranks, tc.q, bk, allreduce.HierChunkBounds(e.TotalElems(), K))
+			}
+		}
+	}
+}
+
+// bigNetTimeline fabricates the selector inputs for an AlexNet-scale
+// gradient whose backward window cannot hide the communication, so
+// the exposed-comm estimates of the algorithms genuinely differ.
+func bigNetTimeline() ([]ParamInfo, int, []float64, float64) {
+	const layers = 16
+	params := make([]ParamInfo, layers)
+	for i := range params {
+		params[i] = ParamInfo{Layer: i, Elems: 232.6e6 / 4 / layers}
+	}
+	done, end := uniformTimeline(layers, 1e-3)
+	return params, layers, done, end
+}
+
+// TestSelectPlanPicksHierarchicalAtScale is the acceptance pin of the
+// 2-D selector: at Sunway topology (q=256) under the adjacent mapping
+// with p > q, the modeled hierarchical all-reduce beats flat RHD
+// (Eqn. 4) and SelectPlan picks it automatically; at p ≤ q the
+// hierarchical schedule degenerates (ring-like latency, no β2 relief)
+// and the selector falls back to a flat algorithm.
+func TestSelectPlanPicksHierarchicalAtScale(t *testing.T) {
+	params, layers, done, end := bigNetTimeline()
+	netw := topology.Sunway()
+	adjacent := topology.AdjacentMapping{Q: netw.SupernodeSize}
+	for _, p := range []int{512, 1024, 4096} {
+		hier := allreduce.HierarchicalCost(netw, p, 232.6e6, true).Total()
+		flat := allreduce.OriginalRHDCost(netw, p, 232.6e6, true).Total()
+		if hier >= flat {
+			t.Fatalf("p=%d: hierarchical makespan %g does not beat flat RHD %g", p, hier, flat)
+		}
+		plan, err := SelectPlan(netw, adjacent, p, true, params, layers, done, end)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Algorithm != allreduce.NameHierarchical {
+			t.Fatalf("p=%d adjacent: SelectPlan picked %q, want hierarchical (exposed %g)", p, plan.Algorithm, plan.Exposed)
+		}
+	}
+	for _, p := range []int{2, 16, 256} { // p <= q: single supernode
+		plan, err := SelectPlan(netw, adjacent, p, true, params, layers, done, end)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Algorithm == allreduce.NameHierarchical {
+			t.Fatalf("p=%d <= q: SelectPlan must fall back to a flat algorithm, picked %q", p, plan.Algorithm)
+		}
+	}
+}
+
+// TestSelectPlanDeterministicAcrossGOMAXPROCS: the 2-D selection must
+// depend only on (topology, mapping, p, layer histogram, priced
+// timeline) — never on host parallelism.
+func TestSelectPlanDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	params, layers, done, end := bigNetTimeline()
+	netw := topology.Sunway()
+	adjacent := topology.AdjacentMapping{Q: netw.SupernodeSize}
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	var plans []Plan
+	for _, procs := range []int{1, 2, old} {
+		runtime.GOMAXPROCS(procs)
+		plan, err := SelectPlan(netw, adjacent, 1024, true, params, layers, done, end)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans = append(plans, plan)
+	}
+	for _, pl := range plans[1:] {
+		if pl != plans[0] {
+			t.Fatalf("plan varies with GOMAXPROCS: %+v vs %+v", pl, plans[0])
+		}
+	}
+}
+
+// TestEngineAutoAlgorithm: Config.AlgorithmName = NameAuto must run
+// the 2-D selection and install the winning strategy — hierarchical
+// on a 4-supernode adjacent cluster (equal α and γ, strictly less β2
+// than flat RHD), flat RHD when one supernode holds every rank.
+func TestEngineAutoAlgorithm(t *testing.T) {
+	params := []ParamInfo{
+		{Layer: 0, Elems: 200000}, {Layer: 2, Elems: 600000},
+		{Layer: 4, Elems: 90000}, {Layer: 6, Elems: 12300},
+	}
+	cfg := adjacentConfig(params, 8, 8, 2, NameAuto)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Plan() == nil || !e.Auto() {
+		t.Fatal("auto engine did not record a plan")
+	}
+	if got := e.StrategyName(); got != allreduce.NameHierarchical {
+		t.Fatalf("auto engine installed %q, want hierarchical (plan %+v)", got, *e.Plan())
+	}
+	if e.BucketBytes() != e.Plan().BucketBytes {
+		t.Fatalf("bucket cap %d != plan %d", e.BucketBytes(), e.Plan().BucketBytes)
+	}
+	checkBuckets(t, e)
+
+	flat := adjacentConfig(params, 8, 8, 256, NameAuto) // p <= q
+	e2, err := New(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e2.StrategyName(); got == allreduce.NameHierarchical {
+		t.Fatalf("single-supernode auto engine picked hierarchical")
+	}
+	// A fixed-algorithm engine records no plan.
+	fixed := adjacentConfig(params, 8, 8, 2, allreduce.NameRHD)
+	e3, err := New(fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3.Plan() != nil || e3.Auto() {
+		t.Fatal("fixed-algorithm engine claims a selected plan")
 	}
 }

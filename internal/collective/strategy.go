@@ -1,13 +1,14 @@
 // Package collective implements the unified gradient-synchronization
 // engine of the distributed trainer (paper Sec. V-A): bucket
 // construction over the packed gradient vector, flush ordering during
-// backward, per-algorithm bucketing strategies, the α-β auto-bucket
-// selector, and the modeled-makespan composition of the overlapped
-// timeline. The trainer packs gradients and launches passes; the
-// engine decides where the buckets fall, which collective schedule
-// reduces each one bit-identically to the one-shot barrier, and what
-// the overlap is worth on the modeled clock — so a new all-reduce
-// variant plugs in as a Strategy instead of a trainer rewrite.
+// backward, per-algorithm bucketing strategies, the plan selector
+// (algorithm × bucket cap), and the modeled-makespan composition of
+// the overlapped timeline. The trainer packs gradients and launches
+// passes; the engine decides where the buckets fall, which collective
+// schedule reduces each one bit-identically to the one-shot barrier,
+// and what the overlap is worth on the modeled clock — so a new
+// all-reduce variant plugs in as a Strategy instead of a trainer
+// rewrite.
 package collective
 
 import (
@@ -21,15 +22,16 @@ import (
 // Strategy is the pluggable per-algorithm bucketing policy: it owns
 // the boundary alignment a bucket must respect for the algorithm to
 // stay bit-identical under bucketing, the collective schedule that
-// reduces one bucket, and the analytic cost model the auto-bucket
-// selector minimizes.
+// reduces one bucket, and the analytic cost model the plan selector
+// minimizes.
 type Strategy interface {
 	Name() string
 	// Snap returns the largest admissible bucket boundary <= cut and
 	// SnapUp the smallest admissible boundary >= cut (element indices
 	// into the packed vector of length total over p ranks).
 	// Element-uniform algorithms admit every boundary; the ring
-	// admits only its chunk bounds. The engine prefers the upward
+	// admits only its chunk bounds, the hierarchical schedule only
+	// its leader-chunk bounds. The engine prefers the upward
 	// neighbor — it keeps the bucket ready at the layer that proposed
 	// the cut — and falls back to the downward one.
 	Snap(cut, total, p int) int
@@ -40,10 +42,16 @@ type Strategy interface {
 	// order the algorithm would use on the whole packed vector, so
 	// bucketed and barrier flushes agree bit for bit.
 	Reduce(n *simnet.Node, seg []float32, lo, total int) []float32
-	// Cost prices one bucket flush with the closed-form α-β-γ model
-	// (paper Eqns. 2–6; see allreduce.CostByName for how the selector
-	// uses it).
-	Cost(net *topology.Network, p int, nBytes float64, onCPE bool) allreduce.Cost
+	// Cost prices the flush of the [lo, hi) bucket of a packed
+	// float32 vector of total elements with the closed-form α-β-γ
+	// model (paper Eqns. 2–6 plus allreduce.HierarchicalCost; see
+	// allreduce.CostByName for how the selector uses it). The bucket's
+	// position matters to strategies whose serial cost depends on
+	// where it falls in their chunk partition: a hierarchical bucket
+	// spanning few leader chunks concentrates its traffic on few
+	// owners (allreduce.HierarchicalSegmentCost); element-uniform
+	// algorithms price by size alone.
+	Cost(net *topology.Network, p, lo, hi, total int, onCPE bool) allreduce.Cost
 }
 
 // uniform wraps an element-uniform algorithm (every element is
@@ -63,8 +71,39 @@ func (u uniform) SnapUp(cut, _, _ int) int { return cut }
 func (u uniform) Reduce(n *simnet.Node, seg []float32, _, _ int) []float32 {
 	return u.alg(n, seg)
 }
-func (u uniform) Cost(net *topology.Network, p int, nBytes float64, onCPE bool) allreduce.Cost {
-	return u.cost(net, p, nBytes, onCPE)
+func (u uniform) Cost(net *topology.Network, p, lo, hi, _ int, onCPE bool) allreduce.Cost {
+	return u.cost(net, p, float64(hi-lo)*4, onCPE)
+}
+
+// snapChunkDown returns the largest bound of the k-chunk partition of
+// total elements that is <= cut; snapChunkUp the smallest >= cut.
+// Bounds are floor(i*total/k), the partition both the ring (k = p)
+// and the hierarchical schedule (k = MinGroupSize) bucket against.
+func snapChunkDown(cut, total, k int) int {
+	if total == 0 || k <= 1 {
+		return cut
+	}
+	// Candidate index is ceil((cut+1)*k/total)-1, nudged down while it
+	// still overshoots (integer floors are not exactly invertible).
+	i := ((cut+1)*k + total - 1) / total
+	if i > k {
+		i = k
+	}
+	for i > 0 && i*total/k > cut {
+		i--
+	}
+	return i * total / k
+}
+
+func snapChunkUp(cut, total, k int) int {
+	if total == 0 || k <= 1 {
+		return cut
+	}
+	i := cut * k / total
+	for i < k && i*total/k < cut {
+		i++
+	}
+	return i * total / k
 }
 
 // ringChunkAligned is the ring's strategy: the ring reduces chunk c
@@ -75,41 +114,54 @@ type ringChunkAligned struct{}
 
 func (ringChunkAligned) Name() string { return allreduce.NameRing }
 
-func (ringChunkAligned) Snap(cut, total, p int) int {
-	if total == 0 || p <= 1 {
-		return cut
-	}
-	// Largest chunk bound <= cut: bounds are floor(i*total/p), so the
-	// candidate index is ceil((cut+1)*p/total)-1, nudged down while it
-	// still overshoots (integer floors are not exactly invertible).
-	i := ((cut+1)*p + total - 1) / total
-	if i > p {
-		i = p
-	}
-	for i > 0 && i*total/p > cut {
-		i--
-	}
-	return i * total / p
-}
-
-func (ringChunkAligned) SnapUp(cut, total, p int) int {
-	if total == 0 || p <= 1 {
-		return cut
-	}
-	// Smallest chunk bound >= cut.
-	i := cut * p / total
-	for i < p && i*total/p < cut {
-		i++
-	}
-	return i * total / p
-}
+func (ringChunkAligned) Snap(cut, total, p int) int   { return snapChunkDown(cut, total, p) }
+func (ringChunkAligned) SnapUp(cut, total, p int) int { return snapChunkUp(cut, total, p) }
 
 func (ringChunkAligned) Reduce(n *simnet.Node, seg []float32, lo, total int) []float32 {
 	return allreduce.RingSegment(n, seg, lo, total)
 }
 
-func (ringChunkAligned) Cost(net *topology.Network, p int, nBytes float64, onCPE bool) allreduce.Cost {
-	return allreduce.RingCost(net, p, nBytes, onCPE)
+func (ringChunkAligned) Cost(net *topology.Network, p, lo, hi, _ int, onCPE bool) allreduce.Cost {
+	return allreduce.RingCost(net, p, float64(hi-lo)*4, onCPE)
+}
+
+// hierChunkAligned is the topology-hierarchical strategy: the
+// schedule assigns chunk c of the K-chunk leader partition
+// (K = topology.MinGroupSize under the active mapping) a
+// chunk-dependent association order, so buckets must land on
+// allreduce.HierChunkBounds and each bucket runs the full schedule
+// restricted to its chunks (allreduce.HierarchicalSegment). The
+// mapping must be the same one the executing simnet cluster uses —
+// the trainer passes its own through Config.Mapping.
+type hierChunkAligned struct {
+	mapping topology.Mapping
+}
+
+func (hierChunkAligned) Name() string { return allreduce.NameHierarchical }
+
+func (h hierChunkAligned) Snap(cut, total, p int) int {
+	return snapChunkDown(cut, total, topology.MinGroupSize(h.mapping, p))
+}
+
+func (h hierChunkAligned) SnapUp(cut, total, p int) int {
+	return snapChunkUp(cut, total, topology.MinGroupSize(h.mapping, p))
+}
+
+func (hierChunkAligned) Reduce(n *simnet.Node, seg []float32, lo, total int) []float32 {
+	return allreduce.HierarchicalSegment(n, seg, lo, total)
+}
+
+func (h hierChunkAligned) Cost(net *topology.Network, p, lo, hi, total int, onCPE bool) allreduce.Cost {
+	// m = leader chunks the bucket spans (bucket bounds are snapped
+	// onto the chunk partition, so the count is exact).
+	k := topology.MinGroupSize(h.mapping, p)
+	m := 0
+	for c := 0; c < k; c++ {
+		if c*total/k < hi && (c+1)*total/k > lo {
+			m++
+		}
+	}
+	return allreduce.HierarchicalSegmentCost(net, p, float64(hi-lo)*4, float64(m), onCPE)
 }
 
 // StrategyFor resolves the bucketing strategy for a named algorithm,
@@ -117,8 +169,18 @@ func (ringChunkAligned) Cost(net *topology.Network, p int, nBytes float64, onCPE
 // element-uniform — the contract the pre-engine overlap trainer
 // already imposed — and priced with the improved-RHD cost model
 // unless the name says otherwise). An empty name selects the default
-// recursive halving/doubling.
-func StrategyFor(name string, custom allreduce.Algorithm) (Strategy, error) {
+// recursive halving/doubling. mapping is the rank-to-supernode
+// mapping of the executing cluster: the hierarchical strategy derives
+// its chunk partition from it, and flat RHD is priced with the
+// adjacent-numbering cost (Eqns. 2–4) instead of the round-robin one
+// (Eqns. 5–6) when the mapping says ranks fill supernodes adjacently.
+// A nil mapping means the trainer default (round-robin at TaihuLight
+// q); NameAuto must be resolved by SelectPlan before coming here.
+func StrategyFor(name string, custom allreduce.Algorithm, mapping topology.Mapping) (Strategy, error) {
+	name = allreduce.Canonical(name)
+	if mapping == nil {
+		mapping = topology.RoundRobinMapping{Q: topology.SupernodeSize}
+	}
 	if custom != nil {
 		cost, err := allreduce.CostByName(name)
 		if err != nil {
@@ -130,11 +192,17 @@ func StrategyFor(name string, custom allreduce.Algorithm) (Strategy, error) {
 		}
 		return uniform{name: label, alg: custom, cost: cost}, nil
 	}
-	if name == "" {
+	switch name {
+	case "":
 		name = allreduce.NameRHD
+	case NameAuto:
+		return nil, fmt.Errorf("collective: %q is a selector directive, not a strategy — resolve it with SelectPlan", NameAuto)
 	}
-	if name == allreduce.NameRing {
+	switch name {
+	case allreduce.NameRing:
 		return ringChunkAligned{}, nil
+	case allreduce.NameHierarchical:
+		return hierChunkAligned{mapping: mapping}, nil
 	}
 	alg, err := allreduce.ByName(name)
 	if err != nil {
@@ -143,6 +211,9 @@ func StrategyFor(name string, custom allreduce.Algorithm) (Strategy, error) {
 	cost, err := allreduce.CostByName(name)
 	if err != nil {
 		return nil, fmt.Errorf("collective: %w", err)
+	}
+	if name == allreduce.NameRHD && mapping.Name() == (topology.AdjacentMapping{}).Name() {
+		cost = allreduce.OriginalRHDCost
 	}
 	return uniform{name: name, alg: alg, cost: cost}, nil
 }

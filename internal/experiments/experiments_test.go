@@ -316,6 +316,19 @@ func TestFunctionalScalingClaims(t *testing.T) {
 		if b.Compute != o.Compute {
 			t.Errorf("p=%d: modeled compute differs between paths: %g vs %g", r.Nodes, b.Compute, o.Compute)
 		}
+		// The hierarchical arm executes on its own q=2 adjacent network
+		// (different comm regime, same priced compute) and must overlap:
+		// exposure strictly below its own summed collective time.
+		h := r.Hier.Stats
+		if h.Compute != b.Compute {
+			t.Errorf("p=%d: hierarchical arm compute %g != barrier %g", r.Nodes, h.Compute, b.Compute)
+		}
+		if r.Nodes > 1 && (h.Comm <= 0 || h.StepTime <= 0) {
+			t.Fatalf("p=%d: degenerate hierarchical stats %+v", r.Nodes, h)
+		}
+		if !(h.Exposed < h.Comm) {
+			t.Errorf("p=%d: hierarchical overlap exposed %g not below its comm %g", r.Nodes, h.Exposed, h.Comm)
+		}
 	}
 	// Communication share of the measured step grows with scale.
 	for i := 1; i < len(rows); i++ {

@@ -176,14 +176,20 @@ func funcScaleNet(batch, classes int) (*core.Net, map[string]*tensor.Tensor, err
 }
 
 // FunctionalScalingRow is one measured point of the cluster-runtime
-// sweep: barrier and overlap modeled step decompositions at p nodes.
-// Timeline marks the rows executed on timeline-only nodes (no CPE
-// pools), which is what lets the sweep reach p in the hundreds.
+// sweep: barrier and overlap modeled step decompositions at p nodes,
+// plus the topology-hierarchical overlap executed on a 2-node-
+// supernode adjacent-mapped variant of the network (q = 2 puts real
+// supernode crossings in reach of simulable node counts; the stock
+// TaihuLight q = 256 would leave every test-sized cluster inside one
+// supernode). Timeline marks the rows executed on timeline-only nodes
+// (no CPE pools), which is what lets the sweep reach p in the
+// hundreds.
 type FunctionalScalingRow struct {
 	Nodes    int
 	Timeline bool
 	Barrier  train.FunctionalPoint
 	Overlap  train.FunctionalPoint
+	Hier     train.FunctionalPoint
 }
 
 var (
@@ -207,43 +213,56 @@ func FunctionalScaling(w io.Writer) []FunctionalScalingRow {
 	build := func() (*core.Net, map[string]*tensor.Tensor, error) { return funcScaleNet(8, classes) }
 	solver := core.SolverConfig{BaseLR: 0.05, Momentum: 0.9}
 
-	sweep := func(overlap, timeline bool, nodes []int) []train.FunctionalPoint {
-		pts, err := train.FunctionalSweep(build, ds, nodes, train.FunctionalSweepConfig{
-			SubBatch: 8, Solver: solver, Overlap: overlap, BucketBytes: 8 << 10,
-			Timeline: timeline, Iters: 2,
-		})
+	sweep := func(cfg train.FunctionalSweepConfig, nodes []int) []train.FunctionalPoint {
+		cfg.SubBatch, cfg.Solver, cfg.Iters = 8, solver, 2
+		cfg.BucketBytes = 8 << 10
+		pts, err := train.FunctionalSweep(build, ds, nodes, cfg)
 		if err != nil {
 			panic(err)
 		}
 		return pts
 	}
-	var barrier, overlap, tlBarrier, tlOverlap []train.FunctionalPoint
-	parallelFor(4, func(i int) {
+	// The hierarchical arm runs on a q=2 adjacent-mapped network so
+	// the schedule actually crosses supernodes at these node counts.
+	hierNet := topology.Sunway()
+	hierNet.SupernodeSize = 2
+	hierCfg := func(timeline bool) train.FunctionalSweepConfig {
+		return train.FunctionalSweepConfig{Overlap: true, Timeline: timeline,
+			AlgorithmName: allreduce.NameHierarchical,
+			Network:       hierNet, Mapping: topology.AdjacentMapping{Q: 2}}
+	}
+	var barrier, overlap, hier, tlBarrier, tlOverlap, tlHier []train.FunctionalPoint
+	parallelFor(6, func(i int) {
 		switch i {
 		case 0:
-			barrier = sweep(false, false, functionalNodeCounts)
+			barrier = sweep(train.FunctionalSweepConfig{}, functionalNodeCounts)
 		case 1:
-			overlap = sweep(true, false, functionalNodeCounts)
+			overlap = sweep(train.FunctionalSweepConfig{Overlap: true}, functionalNodeCounts)
 		case 2:
-			tlBarrier = sweep(false, true, functionalTimelineNodeCounts)
+			hier = sweep(hierCfg(false), functionalNodeCounts)
 		case 3:
-			tlOverlap = sweep(true, true, functionalTimelineNodeCounts)
+			tlBarrier = sweep(train.FunctionalSweepConfig{Timeline: true}, functionalTimelineNodeCounts)
+		case 4:
+			tlOverlap = sweep(train.FunctionalSweepConfig{Overlap: true, Timeline: true}, functionalTimelineNodeCounts)
+		case 5:
+			tlHier = sweep(hierCfg(true), functionalTimelineNodeCounts)
 		}
 	})
 
 	rows := make([]FunctionalScalingRow, 0, len(functionalNodeCounts)+len(functionalTimelineNodeCounts))
 	for i, p := range functionalNodeCounts {
-		rows = append(rows, FunctionalScalingRow{Nodes: p, Barrier: barrier[i], Overlap: overlap[i]})
+		rows = append(rows, FunctionalScalingRow{Nodes: p, Barrier: barrier[i], Overlap: overlap[i], Hier: hier[i]})
 	}
 	for i, p := range functionalTimelineNodeCounts {
-		rows = append(rows, FunctionalScalingRow{Nodes: p, Timeline: true, Barrier: tlBarrier[i], Overlap: tlOverlap[i]})
+		rows = append(rows, FunctionalScalingRow{Nodes: p, Timeline: true,
+			Barrier: tlBarrier[i], Overlap: tlOverlap[i], Hier: tlHier[i]})
 	}
 
 	section(w, "Functional scaling: cluster runtime on simulated swnode.Nodes (measured, not priced)")
 	tw := newTab(w)
-	fmt.Fprintln(tw, "nodes\tmode\tbarrier step\tbarrier exposed\toverlap step\toverlap exposed\toverlap speedup")
+	fmt.Fprintln(tw, "nodes\tmode\tbarrier step\tbarrier exposed\toverlap step\toverlap exposed\toverlap speedup\thier step (q=2 adj)\thier exposed")
 	for _, r := range rows {
-		b, o := r.Barrier.Stats, r.Overlap.Stats
+		b, o, h := r.Barrier.Stats, r.Overlap.Stats, r.Hier.Stats
 		gain := 1.0
 		if o.StepTime > 0 {
 			gain = b.StepTime / o.StepTime
@@ -252,8 +271,9 @@ func FunctionalScaling(w io.Writer) []FunctionalScalingRow {
 		if r.Timeline {
 			mode = "timeline"
 		}
-		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%s\t%.3fx\n", r.Nodes, mode,
-			fmtTime(b.StepTime), fmtTime(b.Exposed), fmtTime(o.StepTime), fmtTime(o.Exposed), gain)
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%s\t%.3fx\t%s\t%s\n", r.Nodes, mode,
+			fmtTime(b.StepTime), fmtTime(b.Exposed), fmtTime(o.StepTime), fmtTime(o.Exposed), gain,
+			fmtTime(h.StepTime), fmtTime(h.Exposed))
 	}
 	tw.Flush()
 	return rows

@@ -15,6 +15,7 @@ package simnet
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"swcaffe/internal/topology"
 )
@@ -65,6 +66,15 @@ type runState struct {
 	// write must land in the abandoned run's private storage, never in
 	// a later call's.
 	results [][]float32
+
+	// msgs and crossMsgs count the point-to-point messages of the run
+	// and the subset whose endpoints sit in different supernodes;
+	// crossBytes sums those messages' virtual wire sizes — the
+	// topology pressure a collective schedule puts on the
+	// over-subscribed central switch (reported on Result).
+	msgs       atomic.Int64
+	crossMsgs  atomic.Int64
+	crossBytes atomic.Int64
 }
 
 func (rs *runState) channel(src, dst int) chan wire {
@@ -91,21 +101,77 @@ func NewCluster(net *topology.Network, mapping topology.Mapping, p int) *Cluster
 }
 
 // Node is the per-rank handle passed to collective algorithm bodies.
+// A node is either the world communicator's view of a rank (Rank =
+// world rank, P() = cluster size) or a group-restricted view obtained
+// from InGroup (Rank = index within the group, P() = group size); both
+// views share one logical clock and one message-channel namespace
+// keyed by world ranks.
 type Node struct {
 	Rank    int
 	cluster *Cluster
 	run     *runState
-	clock   float64
+	clock   *float64
+	group   []int // nil = world communicator; else group-rank -> world-rank
 }
 
 // Clock returns the node's logical time in seconds.
-func (n *Node) Clock() float64 { return n.clock }
+func (n *Node) Clock() float64 { return *n.clock }
 
 // AdvanceClock adds local computation time.
-func (n *Node) AdvanceClock(dt float64) { n.clock += dt }
+func (n *Node) AdvanceClock(dt float64) { *n.clock += dt }
 
-// P returns the cluster size.
-func (n *Node) P() int { return n.cluster.P }
+// P returns the communicator size: the cluster size on a world node,
+// the member count on a group view.
+func (n *Node) P() int {
+	if n.group != nil {
+		return len(n.group)
+	}
+	return n.cluster.P
+}
+
+// WorldRank returns the node's rank in the world communicator (equal
+// to Rank except on group views).
+func (n *Node) WorldRank() int { return n.world(n.Rank) }
+
+// world translates a communicator-local rank to a world rank.
+func (n *Node) world(r int) int {
+	if n.group != nil {
+		return n.group[r]
+	}
+	return r
+}
+
+// Mapping exposes the cluster's rank-to-supernode mapping, so
+// topology-aware collective bodies can derive supernode membership
+// from the node handle alone.
+func (n *Node) Mapping() topology.Mapping { return n.cluster.Mapping }
+
+// InGroup returns a sub-communicator view of the node restricted to
+// the ordered world-rank subset ranks: the view's Rank is the node's
+// index within ranks and P() is len(ranks), while Send/Recv peers are
+// group indices translated back to world ranks. The view shares the
+// node's logical clock, so time spent inside a group collective is
+// charged to the rank like any other communication. The calling
+// node's world rank must appear in ranks; group views do not nest.
+// This is what lets the collective algorithms in internal/allreduce
+// run unmodified over a rank subset of one Cluster.Run — the
+// hierarchical all-reduce's intra-supernode and leader phases.
+func (n *Node) InGroup(ranks []int) *Node {
+	if n.group != nil {
+		panic("simnet: nested group views are not supported")
+	}
+	idx := -1
+	for i, r := range ranks {
+		if r == n.Rank {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic(fmt.Sprintf("simnet: rank %d not a member of group %v", n.Rank, ranks))
+	}
+	return &Node{Rank: idx, cluster: n.cluster, run: n.run, clock: n.clock, group: ranks}
+}
 
 func (c *Cluster) linkCost(a, b int, elems int) (alpha, transfer float64) {
 	bytes := int64(float64(elems) * c.BytesPerElem)
@@ -113,27 +179,40 @@ func (c *Cluster) linkCost(a, b int, elems int) (alpha, transfer float64) {
 	return c.Net.Alpha(bytes), float64(bytes) * c.Net.Beta(same)
 }
 
+// countMsg records one posted message of elems payload elements for
+// the run's traffic census.
+func (n *Node) countMsg(src, dst, elems int) {
+	n.run.msgs.Add(1)
+	if !topology.SameSupernode(n.cluster.Mapping, src, dst, n.cluster.P) {
+		n.run.crossMsgs.Add(1)
+		n.run.crossBytes.Add(int64(float64(elems) * n.cluster.BytesPerElem))
+	}
+}
+
 // Send posts data to peer. The send occupies the sender for the full
 // α+βn (blocking send, as the MPI_Send the paper's collectives use).
 func (n *Node) Send(peer int, data []float32) {
-	if peer == n.Rank {
+	src, dst := n.WorldRank(), n.world(peer)
+	if dst == src {
 		panic("simnet: send to self")
 	}
-	alpha, transfer := n.cluster.linkCost(n.Rank, peer, len(data))
-	n.run.channel(n.Rank, peer) <- wire{data: data, sendTime: n.clock}
-	n.clock += alpha + transfer
+	alpha, transfer := n.cluster.linkCost(src, dst, len(data))
+	n.countMsg(src, dst, len(data))
+	n.run.channel(src, dst) <- wire{data: data, sendTime: *n.clock}
+	*n.clock += alpha + transfer
 }
 
 // Recv blocks for a message from peer and advances the clock to the
 // arrival time: max(local, remote-send) + α + βn.
 func (n *Node) Recv(peer int) []float32 {
-	m := <-n.run.channel(peer, n.Rank)
-	alpha, transfer := n.cluster.linkCost(peer, n.Rank, len(m.data))
-	start := n.clock
+	src, dst := n.world(peer), n.WorldRank()
+	m := <-n.run.channel(src, dst)
+	alpha, transfer := n.cluster.linkCost(src, dst, len(m.data))
+	start := *n.clock
 	if m.sendTime > start {
 		start = m.sendTime
 	}
-	n.clock = start + alpha + transfer
+	*n.clock = start + alpha + transfer
 	return m.data
 }
 
@@ -141,21 +220,23 @@ func (n *Node) Recv(peer int) []float32 {
 // concurrently over the bidirectional link, so the node pays one
 // α+βn for the larger of the two transfers.
 func (n *Node) SendRecv(peer int, sendData []float32) []float32 {
-	if peer == n.Rank {
+	src, dst := n.WorldRank(), n.world(peer)
+	if dst == src {
 		panic("simnet: sendrecv with self")
 	}
-	n.run.channel(n.Rank, peer) <- wire{data: sendData, sendTime: n.clock}
-	m := <-n.run.channel(peer, n.Rank)
+	n.countMsg(src, dst, len(sendData))
+	n.run.channel(src, dst) <- wire{data: sendData, sendTime: *n.clock}
+	m := <-n.run.channel(dst, src)
 	elems := len(sendData)
 	if len(m.data) > elems {
 		elems = len(m.data)
 	}
-	alpha, transfer := n.cluster.linkCost(n.Rank, peer, elems)
-	start := n.clock
+	alpha, transfer := n.cluster.linkCost(src, dst, elems)
+	start := *n.clock
 	if m.sendTime > start {
 		start = m.sendTime
 	}
-	n.clock = start + alpha + transfer
+	*n.clock = start + alpha + transfer
 	return m.data
 }
 
@@ -168,7 +249,7 @@ func (n *Node) ChargeReduce(elems int) {
 	if n.cluster.ReduceOnCPE {
 		rate = n.cluster.Net.GammaCPE
 	}
-	n.clock += bytes * rate
+	*n.clock += bytes * rate
 }
 
 // Result summarizes one collective run.
@@ -177,6 +258,14 @@ type Result struct {
 	Time float64
 	// MaxClock per node, for skew inspection.
 	Clocks []float64
+	// Msgs counts the point-to-point messages the run posted;
+	// CrossMsgs the subset whose endpoints sit in different supernodes
+	// under the cluster's mapping, and CrossBytes those messages'
+	// summed virtual wire size — the over-subscribed central-switch
+	// traffic a topology-aware schedule minimizes.
+	Msgs       int64
+	CrossMsgs  int64
+	CrossBytes int64
 }
 
 // Run executes body on every rank concurrently and returns the
@@ -221,9 +310,12 @@ func (c *Cluster) RunGather(body func(n *Node) []float32) (Result, [][]float32) 
 	if rs.results == nil {
 		rs.results = make([][]float32, c.P)
 	}
+	rs.msgs.Store(0)
+	rs.crossMsgs.Store(0)
+	rs.crossBytes.Store(0)
 	nodes := make([]*Node, c.P)
 	for r := 0; r < c.P; r++ {
-		nodes[r] = &Node{Rank: r, cluster: c, run: rs}
+		nodes[r] = &Node{Rank: r, cluster: c, run: rs, clock: new(float64)}
 	}
 	wg.Add(c.P)
 	panicCh := make(chan string, c.P)
@@ -255,11 +347,12 @@ func (c *Cluster) RunGather(body func(n *Node) []float32) (Result, [][]float32) 
 		panic("simnet: node panic on " + msg)
 	default:
 	}
-	res := Result{Clocks: make([]float64, c.P)}
+	res := Result{Clocks: make([]float64, c.P), Msgs: rs.msgs.Load(),
+		CrossMsgs: rs.crossMsgs.Load(), CrossBytes: rs.crossBytes.Load()}
 	for r, nd := range nodes {
-		res.Clocks[r] = nd.clock
-		if nd.clock > res.Time {
-			res.Time = nd.clock
+		res.Clocks[r] = *nd.clock
+		if *nd.clock > res.Time {
+			res.Time = *nd.clock
 		}
 	}
 	// A completed collective must have consumed every message it sent

@@ -258,3 +258,88 @@ func TestSelfSendPanics(t *testing.T) {
 		}
 	})
 }
+
+// TestGroupViewCollective: a sub-communicator view must present group
+// ranks and size while routing messages (and paying link costs) by
+// world rank — the primitive behind group-restricted collectives.
+func TestGroupViewCollective(t *testing.T) {
+	net := topology.Sunway()
+	net.SupernodeSize = 2
+	cl := NewCluster(net, topology.AdjacentMapping{Q: 2}, 4)
+	group := []int{1, 3} // one rank from each supernode
+	sums := make([]float32, 4)
+	cl.Run(func(n *Node) {
+		if n.Rank != 1 && n.Rank != 3 {
+			return
+		}
+		g := n.InGroup(group)
+		if g.P() != 2 {
+			t.Errorf("group size %d", g.P())
+		}
+		if g.WorldRank() != n.Rank {
+			t.Errorf("world rank %d != %d", g.WorldRank(), n.Rank)
+		}
+		// Group-rank exchange: peer 1-g.Rank is the other member.
+		in := g.SendRecv(1-g.Rank, []float32{float32(n.Rank)})
+		sums[n.Rank] = float32(n.Rank) + in[0]
+	})
+	if sums[1] != 4 || sums[3] != 4 {
+		t.Fatalf("group exchange wrong: %v", sums)
+	}
+}
+
+// TestGroupViewSharesClock: time spent inside a group collective must
+// accumulate on the rank's world clock.
+func TestGroupViewSharesClock(t *testing.T) {
+	cl := twoNodes()
+	res := cl.Run(func(n *Node) {
+		g := n.InGroup([]int{0, 1})
+		g.SendRecv(1-g.Rank, make([]float32, 1<<16))
+		g.AdvanceClock(1.5)
+	})
+	if res.Time < 1.5 {
+		t.Fatalf("group-view clock did not reach the world result: %g", res.Time)
+	}
+}
+
+func TestGroupViewRejectsNonMember(t *testing.T) {
+	cl := twoNodes()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected non-member panic")
+		}
+	}()
+	cl.Run(func(n *Node) {
+		if n.Rank == 0 {
+			n.InGroup([]int{1})
+		}
+	})
+}
+
+// TestCrossTrafficCensus: Result must report the message count and the
+// cross-supernode share, with CrossBytes scaled by BytesPerElem.
+func TestCrossTrafficCensus(t *testing.T) {
+	net := topology.Sunway()
+	net.SupernodeSize = 2
+	cl := NewCluster(net, topology.AdjacentMapping{Q: 2}, 4)
+	cl.BytesPerElem = 100
+	res := cl.Run(func(n *Node) {
+		switch n.Rank {
+		case 0:
+			n.Send(1, make([]float32, 3)) // intra
+			n.Send(2, make([]float32, 5)) // cross
+		case 1:
+			n.Recv(0)
+		case 2:
+			n.Recv(0)
+		}
+	})
+	if res.Msgs != 2 || res.CrossMsgs != 1 || res.CrossBytes != 500 {
+		t.Fatalf("census = %d msgs / %d cross / %d bytes, want 2/1/500", res.Msgs, res.CrossMsgs, res.CrossBytes)
+	}
+	// Counters reset between runs on the pooled state.
+	res = cl.Run(func(n *Node) {})
+	if res.Msgs != 0 || res.CrossMsgs != 0 || res.CrossBytes != 0 {
+		t.Fatalf("census not reset: %+v", res)
+	}
+}

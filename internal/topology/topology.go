@@ -14,7 +14,10 @@
 // reduce-scatter rounds inside supernodes.
 package topology
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // SupernodeSize is q, the number of nodes per supernode on TaihuLight.
 const SupernodeSize = 256
@@ -147,6 +150,62 @@ func (m RoundRobinMapping) Name() string { return "round-robin" }
 // physical supernode under the mapping.
 func SameSupernode(m Mapping, a, b, p int) bool {
 	return m.Supernode(a, p) == m.Supernode(b, p)
+}
+
+// Members returns the physical supernode groups of p ranks under the
+// mapping: one ordered (ascending world rank) member list per occupied
+// supernode, listed in supernode-index order. This is the membership
+// structure the hierarchical all-reduce schedules against — every
+// message between two ranks of one group travels an intra-supernode
+// (Beta1) link regardless of the logical numbering, because groups are
+// keyed by the *physical* supernode the mapping assigns.
+func Members(m Mapping, p int) [][]int {
+	bySN := map[int][]int{}
+	var order []int
+	for r := 0; r < p; r++ {
+		sn := m.Supernode(r, p)
+		if _, seen := bySN[sn]; !seen {
+			order = append(order, sn)
+		}
+		bySN[sn] = append(bySN[sn], r)
+	}
+	sort.Ints(order)
+	groups := make([][]int, 0, len(order))
+	for _, sn := range order {
+		groups = append(groups, bySN[sn])
+	}
+	return groups
+}
+
+// Leaders returns the leader of each occupied supernode — its
+// smallest-ranked member — in supernode-index order. The hierarchical
+// all-reduce generalizes this: member j of each group acts as the
+// supernode's leader for chunk j of the packed vector.
+func Leaders(m Mapping, p int) []int {
+	groups := Members(m, p)
+	out := make([]int, len(groups))
+	for i, g := range groups {
+		out[i] = g[0]
+	}
+	return out
+}
+
+// MinGroupSize returns the smallest occupied supernode's member count
+// under the mapping. The hierarchical all-reduce partitions the vector
+// into exactly this many chunks, so every supernode has an owner for
+// every chunk — it is the chunk count the hierarchical bucketing
+// strategy snaps overlap buckets onto.
+func MinGroupSize(m Mapping, p int) int {
+	min := 0
+	for _, g := range Members(m, p) {
+		if min == 0 || len(g) < min {
+			min = len(g)
+		}
+	}
+	if min < 1 {
+		min = 1
+	}
+	return min
 }
 
 // Validate checks that a mapping distributes p ranks over supernodes

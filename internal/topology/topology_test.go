@@ -136,3 +136,57 @@ func TestNetworkCurves(t *testing.T) {
 		t.Fatal("CPE reduction must beat MPE reduction")
 	}
 }
+
+// TestMembersLeadersMinGroupSize pins the supernode membership
+// helpers the hierarchical all-reduce schedules against, for both
+// mappings including ragged shapes (p % q != 0, p < q, q = 1).
+func TestMembersLeadersMinGroupSize(t *testing.T) {
+	cases := []struct {
+		m       Mapping
+		p       int
+		groups  [][]int
+		leaders []int
+		minSize int
+	}{
+		{AdjacentMapping{Q: 4}, 8, [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}}, []int{0, 4}, 4},
+		{AdjacentMapping{Q: 4}, 10, [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9}}, []int{0, 4, 8}, 2},
+		{AdjacentMapping{Q: 8}, 3, [][]int{{0, 1, 2}}, []int{0}, 3},
+		{AdjacentMapping{Q: 1}, 3, [][]int{{0}, {1}, {2}}, []int{0, 1, 2}, 1},
+		{RoundRobinMapping{Q: 4}, 8, [][]int{{0, 2, 4, 6}, {1, 3, 5, 7}}, []int{0, 1}, 4},
+		{RoundRobinMapping{Q: 4}, 10, [][]int{{0, 3, 6, 9}, {1, 4, 7}, {2, 5, 8}}, []int{0, 1, 2}, 3},
+		{RoundRobinMapping{Q: 8}, 3, [][]int{{0, 1, 2}}, []int{0}, 3},
+	}
+	for _, tc := range cases {
+		got := Members(tc.m, tc.p)
+		if len(got) != len(tc.groups) {
+			t.Fatalf("%s p=%d: %d groups, want %d (%v)", tc.m.Name(), tc.p, len(got), len(tc.groups), got)
+		}
+		total := 0
+		for s, g := range got {
+			total += len(g)
+			if len(g) != len(tc.groups[s]) {
+				t.Fatalf("%s p=%d group %d: %v, want %v", tc.m.Name(), tc.p, s, g, tc.groups[s])
+			}
+			for i, r := range g {
+				if r != tc.groups[s][i] {
+					t.Fatalf("%s p=%d group %d: %v, want %v", tc.m.Name(), tc.p, s, g, tc.groups[s])
+				}
+				if sn := tc.m.Supernode(r, tc.p); sn != tc.m.Supernode(g[0], tc.p) {
+					t.Fatalf("%s p=%d: group %d mixes supernodes", tc.m.Name(), tc.p, s)
+				}
+			}
+		}
+		if total != tc.p {
+			t.Fatalf("%s p=%d: groups cover %d ranks", tc.m.Name(), tc.p, total)
+		}
+		leaders := Leaders(tc.m, tc.p)
+		for i, l := range leaders {
+			if l != tc.leaders[i] {
+				t.Fatalf("%s p=%d: leaders %v, want %v", tc.m.Name(), tc.p, leaders, tc.leaders)
+			}
+		}
+		if ms := MinGroupSize(tc.m, tc.p); ms != tc.minSize {
+			t.Fatalf("%s p=%d: MinGroupSize %d, want %d", tc.m.Name(), tc.p, ms, tc.minSize)
+		}
+	}
+}

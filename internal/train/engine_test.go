@@ -6,7 +6,9 @@ import (
 	"swcaffe/internal/allreduce"
 	"swcaffe/internal/core"
 	"swcaffe/internal/dataset"
+	"swcaffe/internal/simnet"
 	"swcaffe/internal/tensor"
+	"swcaffe/internal/topology"
 )
 
 // TestRingOverlapBitIdenticalToBarrier is the golden for the
@@ -255,5 +257,230 @@ func TestWeightedPassPlacementDeterministic(t *testing.T) {
 	// four CG slots over 8 steps.
 	if len(seen) != 4 {
 		t.Fatalf("weighted placement used CG slots %v, want all 4", seen)
+	}
+}
+
+// hierNet returns a q-sized-supernode Sunway network and the adjacent
+// mapping — the configuration where the hierarchical schedule is
+// non-degenerate at test-sized clusters.
+func hierNet(q int) (*topology.Network, topology.Mapping) {
+	netw := topology.Sunway()
+	netw.SupernodeSize = q
+	return netw, topology.AdjacentMapping{Q: q}
+}
+
+// TestHierarchicalOverlapBitIdenticalToBarrier is the golden for the
+// hierarchical overlap: the schedule reduces chunk c of the leader
+// partition with an association order that depends on c (leader c's
+// own value, tournament-ordered peers, the RHD tree over supernodes),
+// so the collective engine snaps hierarchical buckets onto
+// allreduce.HierChunkBounds and reduces each with the full schedule
+// restricted to the bucket (allreduce.HierarchicalSegment). Losses
+// and every replica's parameters must match the one-shot barrier
+// hierarchical bit for bit — across the pooled-node, timeline-only
+// and host-math trainer paths. Run under -race by `make race`.
+func TestHierarchicalOverlapBitIdenticalToBarrier(t *testing.T) {
+	const classes = 3
+	ds := dataset.NewClusters(2000, classes, 1, 8, 8, 0.4, 61)
+	cfg := core.SolverConfig{BaseLR: 0.05, Momentum: 0.9}
+	for _, nodes := range []int{4, 6} { // 2 and 3 supernodes of q=2
+		netw, mapping := hierNet(2)
+		mk := func(overlap, timeline, hostMath bool) *DistTrainer {
+			d, err := NewDistTrainer(DistConfig{Nodes: nodes, SubBatch: 8, Solver: cfg,
+				Network: netw, Mapping: mapping,
+				AlgorithmName: allreduce.NameHierarchical,
+				Overlap:       overlap, BucketBytes: 8 << 10,
+				Timeline: timeline, HostMath: hostMath}, deepFactory(8, classes))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}
+		barrier := mk(false, false, false)
+		overlap := mk(true, false, false)
+		tlOverlap := mk(true, true, false)
+		hmOverlap := mk(true, false, true)
+		all := []*DistTrainer{barrier, overlap, tlOverlap, hmOverlap}
+		for _, d := range all {
+			defer d.Close()
+		}
+		for it := 0; it < 8; it++ {
+			losses := make([]float32, len(all))
+			for i, d := range all {
+				d.LoadShards(ds, it)
+				losses[i] = d.Step()
+			}
+			for i, l := range losses[1:] {
+				if l != losses[0] {
+					t.Fatalf("nodes=%d iter %d: trainer %d loss %v != barrier %v", nodes, it, i+1, l, losses[0])
+				}
+			}
+		}
+		if overlap.Buckets() < 2 {
+			t.Fatalf("nodes=%d: expected multiple chunk-aligned buckets, got %d", nodes, overlap.Buckets())
+		}
+		bp := barrier.Workers[0].Net.LearnableParams()
+		for ti, d := range all[1:] {
+			op := d.Workers[0].Net.LearnableParams()
+			for i := range bp {
+				if diff := tensor.MaxDiff(bp[i].Data, op[i].Data); diff != 0 {
+					t.Fatalf("nodes=%d trainer %d param %d: hierarchical overlap deviates by %g from barrier (must be bit-identical)",
+						nodes, ti+1, i, diff)
+				}
+			}
+			if d := d.ParamsDiverged(); d != 0 {
+				t.Fatalf("nodes=%d trainer %d: replicas diverged by %g", nodes, ti+1, d)
+			}
+		}
+		if name := overlap.Engine().StrategyName(); name != allreduce.NameHierarchical {
+			t.Fatalf("nodes=%d: strategy %q", nodes, name)
+		}
+		if overlap.ExposedCommTime >= barrier.ExposedCommTime {
+			t.Fatalf("nodes=%d: hierarchical overlap exposed %g >= barrier %g",
+				nodes, overlap.ExposedCommTime, barrier.ExposedCommTime)
+		}
+	}
+}
+
+// TestHierarchicalFlatSumsHexExact: a hierarchical trainer and a flat
+// RHD trainer fed integer-valued gradients must produce hex-identical
+// packed sums. The engines' full flushes run over the same simnet
+// cluster with integer payloads (sums below 2^24 are exact in float32
+// regardless of association order), pinning flat-vs-hierarchical
+// agreement at the trainer's flush layer rather than just inside
+// internal/allreduce.
+func TestHierarchicalFlatSumsHexExact(t *testing.T) {
+	const nodes, classes = 6, 3
+	netw, mapping := hierNet(2)
+	cfg := core.SolverConfig{BaseLR: 0.05, Momentum: 0.9}
+	mk := func(alg string) *DistTrainer {
+		d, err := NewDistTrainer(DistConfig{Nodes: nodes, SubBatch: 8, Solver: cfg,
+			Network: netw, Mapping: mapping, AlgorithmName: alg, HostMath: true},
+			deepFactory(8, classes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	flat := mk(allreduce.NameRHD)
+	hier := mk(allreduce.NameHierarchical)
+	defer flat.Close()
+	defer hier.Close()
+	// Drive both engines' barrier flush directly with integer payloads.
+	for _, d := range []*DistTrainer{flat, hier} {
+		d.ensureEngine()
+	}
+	fe, he := flat.Engine(), hier.Engine()
+	for r := 0; r < nodes; r++ {
+		fv, hv := fe.RankViews()[r], he.RankViews()[r]
+		for i := range fv {
+			v := float32((r*131+i)%509 - 254)
+			fv[i], hv[i] = v, v
+		}
+	}
+	outs := map[string][][]float32{}
+	for name, d := range map[string]*DistTrainer{"flat": flat, "hier": hier} {
+		eng := d.Engine()
+		views := eng.RankViews()
+		_, o := d.cluster.RunGather(func(n *simnet.Node) []float32 {
+			return eng.ReduceFull(n, views[n.Rank])
+		})
+		cp := make([][]float32, nodes)
+		for r := range o {
+			cp[r] = append([]float32(nil), o[r]...)
+		}
+		outs[name] = cp
+	}
+	for r := 0; r < nodes; r++ {
+		for i := range outs["flat"][r] {
+			if outs["flat"][r][i] != outs["hier"][r][i] {
+				t.Fatalf("rank %d elem %d: hierarchical sum %g != flat RHD sum %g (integer sums must be hex-exact)",
+					r, i, outs["hier"][r][i], outs["flat"][r][i])
+			}
+		}
+	}
+}
+
+// wideFactory builds a comm-heavy MLP: the 1024-wide fc2 packs a
+// ~4 MB gradient far above what the priced backward window can hide,
+// so the plan selector's exposed-communication estimates genuinely
+// differ between algorithms — and the hierarchical schedule's smaller
+// β2 bill outweighs its poor bucketability. (Compute-bound nets hide
+// every candidate and tie toward flat RHD by design.)
+func wideFactory(batch, classes int) func() (*core.Net, map[string]*tensor.Tensor, error) {
+	return func() (*core.Net, map[string]*tensor.Tensor, error) {
+		net := core.NewNet("wide", "data", "label")
+		net.AddLayers(
+			core.NewInnerProduct(core.InnerProductConfig{
+				Name: "fc1", Bottom: "data", Top: "fc1", NumOutput: 1024, BiasTerm: true}),
+			core.NewReLU("relu", "fc1", "fc1", 0),
+			core.NewInnerProduct(core.InnerProductConfig{
+				Name: "fc2", Bottom: "fc1", Top: "fc2", NumOutput: 1024, BiasTerm: true}),
+			core.NewReLU("relu2", "fc2", "fc2", 0),
+			core.NewInnerProduct(core.InnerProductConfig{
+				Name: "fc3", Bottom: "fc2", Top: "fc3", NumOutput: classes, BiasTerm: true}),
+			core.NewSoftmaxLoss("loss", "fc3", "label", "loss"),
+		)
+		inputs := map[string]*tensor.Tensor{
+			"data":  tensor.New(batch, 1, 3, 3),
+			"label": tensor.New(batch, 1, 1, 1),
+		}
+		if err := net.Setup(inputs); err != nil {
+			return nil, nil, err
+		}
+		return net, inputs, nil
+	}
+}
+
+// TestAutoPlanTrainer: DistConfig.AlgorithmName = "auto" must run the
+// 2-D plan selection — picking the hierarchical strategy on a
+// 2-supernode adjacent cluster whose gradient outweighs its backward
+// window — and stay bit-identical to the explicitly-hierarchical
+// barrier trainer.
+func TestAutoPlanTrainer(t *testing.T) {
+	const nodes, classes = 4, 3
+	ds := dataset.NewClusters(2000, classes, 1, 3, 3, 0.4, 67)
+	cfg := core.SolverConfig{BaseLR: 0.05, Momentum: 0.9}
+	netw, mapping := hierNet(2)
+	auto, err := NewDistTrainer(DistConfig{Nodes: nodes, SubBatch: 2, Solver: cfg,
+		Network: netw, Mapping: mapping, AlgorithmName: "auto", Overlap: true},
+		wideFactory(2, classes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer auto.Close()
+	barrier, err := NewDistTrainer(DistConfig{Nodes: nodes, SubBatch: 2, Solver: cfg,
+		Network: netw, Mapping: mapping, AlgorithmName: allreduce.NameHierarchical},
+		wideFactory(2, classes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer barrier.Close()
+	for it := 0; it < 4; it++ {
+		auto.LoadShards(ds, it)
+		barrier.LoadShards(ds, it)
+		la, lb := auto.Step(), barrier.Step()
+		if la != lb {
+			t.Fatalf("iter %d: auto loss %v != hierarchical barrier %v", it, la, lb)
+		}
+	}
+	eng := auto.Engine()
+	if eng.Plan() == nil || !eng.Auto() {
+		t.Fatal("auto trainer recorded no plan")
+	}
+	if got := eng.StrategyName(); got != allreduce.NameHierarchical {
+		t.Fatalf("auto trainer picked %q on a 2-supernode adjacent cluster, want hierarchical", got)
+	}
+	bp := barrier.Workers[0].Net.LearnableParams()
+	ap := auto.Workers[0].Net.LearnableParams()
+	for i := range bp {
+		if d := tensor.MaxDiff(bp[i].Data, ap[i].Data); d != 0 {
+			t.Fatalf("param %d: auto plan deviates by %g from the hierarchical barrier (must be bit-identical)", i, d)
+		}
+	}
+	// An unknown algorithm name still fails construction loudly.
+	if _, err := NewDistTrainer(DistConfig{Nodes: 2, SubBatch: 4, Solver: cfg,
+		AlgorithmName: "nope"}, mlpFactory(4, classes)); err == nil {
+		t.Fatal("unknown algorithm accepted")
 	}
 }

@@ -73,6 +73,7 @@ func (t *DistTrainer) ensureEngine() {
 		Layers:        len(net.Layers()),
 		Ranks:         len(t.Workers),
 		Network:       t.cfg.Network,
+		Mapping:       t.cfg.Mapping,
 		ReduceOnCPE:   true,
 		LayerDone:     t.layerDone,
 		ComputeEnd:    t.computeEnd,

@@ -67,8 +67,13 @@ type DistConfig struct {
 	Overlap bool
 	// AlgorithmName selects a built-in collective by name (see
 	// allreduce.ByName) together with its bucketing strategy and cost
-	// model; empty selects recursive halving/doubling. Ignored when
-	// Algorithm supplies a custom body.
+	// model; empty selects recursive halving/doubling, and the
+	// topology-hierarchical schedule is "hierarchical" ("hier"). The
+	// special name "auto" (collective.NameAuto) hands the choice to
+	// the engine's 2-D plan selector, which picks the (algorithm,
+	// bucket cap) pair minimizing modeled exposed communication for
+	// this topology and mapping. Ignored when Algorithm supplies a
+	// custom body.
 	AlgorithmName string
 	// BucketBytes caps one gradient bucket (default 4 MB).
 	BucketBytes int
@@ -185,9 +190,12 @@ func NewDistTrainer(cfg DistConfig, buildNet func() (*core.Net, map[string]*tens
 	if cfg.Algorithm == nil && cfg.AlgorithmName != "" {
 		// The engine resolves the name again (with the matching
 		// bucketing strategy); validate it here so misconfiguration is
-		// an error, not a panic inside Step.
-		if _, err := allreduce.ByName(cfg.AlgorithmName); err != nil {
-			return nil, err
+		// an error, not a panic inside Step. "auto" is the engine's
+		// plan-selector directive, not an algorithm name.
+		if allreduce.Canonical(cfg.AlgorithmName) != collective.NameAuto {
+			if _, err := allreduce.ByName(cfg.AlgorithmName); err != nil {
+				return nil, err
+			}
 		}
 	}
 	t := &DistTrainer{cfg: cfg, cluster: simnet.NewCluster(cfg.Network, cfg.Mapping, cfg.Nodes)}

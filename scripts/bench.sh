@@ -2,23 +2,26 @@
 # bench.sh — benchmark regression harness. Runs the key simulator /
 # planner / trainer benchmarks with -benchmem, runs the simulated-time
 # invariance test, and writes the results as JSON (default
-# BENCH_PR4.json) extending the perf trajectory that future PRs are
-# judged against. PR 4 adds the collective-engine DistStep variants:
-# ring vs RHD crossed with fixed-DefaultBucketBytes vs α-β auto-bucket
-# selection, plus the timeline-only node mode. The acceptance bar is
-# that OverlapAuto reports lower exposed-comm-us/step than
-# OverlapFixedDefault (for the ring the selector may legitimately tie
-# by choosing the single-bucket layout — the ring's 2(p-1)α latency
-# makes splitting a small gradient a loss, the very effect the paper
-# cites against the ring).
+# BENCH_PR5.json) extending the perf trajectory that future PRs are
+# judged against. PR 5 adds the topology-hierarchical DistStep
+# variants (on a q=2 adjacent-mapped network so supernodes are really
+# crossed at bench scale): barrier, overlap at the fixed default cap,
+# α-β auto-bucketed, and the 2-D plan selector (-alg auto picks the
+# algorithm too). The hierarchical auto variant may legitimately tie
+# its fixed-default counterpart by keeping the single-bucket layout —
+# splitting a hierarchical flush concentrates each bucket's traffic
+# on its leader-chunk owners (allreduce.HierarchicalSegmentCost), so
+# fine buckets are usually a loss. OverlapAlgAuto must report exposed
+# comm no worse than the fixed hierarchical variants: the selector
+# may pick any algorithm, but only on modeled-exposure merit.
 #
 # Usage: scripts/bench.sh [output.json] [benchtime]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR4.json}"
+OUT="${1:-BENCH_PR5.json}"
 BENCHTIME="${2:-1s}"
-PATTERN='^(BenchmarkSimGEMM64|BenchmarkSimGEMM128|BenchmarkSimGEMMRagged|BenchmarkSimConvExplicit|BenchmarkConvPlanSelection|BenchmarkGEMMPlanWarm|BenchmarkGEMMPlanCold|BenchmarkTable2|BenchmarkSolverUpdate|BenchmarkAllreducePack|BenchmarkAllreduceScale|BenchmarkDistStepBarrier|BenchmarkDistStepOverlap|BenchmarkDistStepBarrierHostMath|BenchmarkDistStepOverlapHostMath|BenchmarkDistStepOverlapFixedDefault|BenchmarkDistStepOverlapAuto|BenchmarkDistStepBarrierRing|BenchmarkDistStepOverlapRingFixedDefault|BenchmarkDistStepOverlapRingAuto|BenchmarkDistStepOverlapTimeline|BenchmarkCGTrainerStep)$'
+PATTERN='^(BenchmarkSimGEMM64|BenchmarkSimGEMM128|BenchmarkSimGEMMRagged|BenchmarkSimConvExplicit|BenchmarkConvPlanSelection|BenchmarkGEMMPlanWarm|BenchmarkGEMMPlanCold|BenchmarkTable2|BenchmarkSolverUpdate|BenchmarkAllreducePack|BenchmarkAllreduceScale|BenchmarkDistStepBarrier|BenchmarkDistStepOverlap|BenchmarkDistStepBarrierHostMath|BenchmarkDistStepOverlapHostMath|BenchmarkDistStepOverlapFixedDefault|BenchmarkDistStepOverlapAuto|BenchmarkDistStepBarrierRing|BenchmarkDistStepOverlapRingFixedDefault|BenchmarkDistStepOverlapRingAuto|BenchmarkDistStepBarrierHier|BenchmarkDistStepOverlapHierFixedDefault|BenchmarkDistStepOverlapHierAuto|BenchmarkDistStepOverlapAlgAuto|BenchmarkDistStepOverlapTimeline|BenchmarkCGTrainerStep)$'
 
 echo "== running invariance check (simulated times must match golden) =="
 if go test ./internal/swdnn/ -run 'TestEngineInvariance|TestEngineDeterminism' -count=1 >/dev/null 2>&1; then
@@ -51,7 +54,7 @@ echo "$RAW" | awk -v invariance="$INVARIANCE" -v date="$(date -u +%Y-%m-%dT%H:%M
 }
 END {
     printf "{\n"
-    printf "  \"pr\": 4,\n"
+    printf "  \"pr\": 5,\n"
     printf "  \"date\": \"%s\",\n", date
     printf "  \"invariance\": \"%s\",\n", invariance
     printf "  \"benchmarks\": {\n"
@@ -65,10 +68,10 @@ END {
         printf "}%s\n", (i < n-1 ? "," : "")
     }
     printf "  },\n"
-    printf "  \"pr3_reference\": {\n"
-    printf "    \"comment\": \"PR-3 numbers live in BENCH_PR3.json; DistStep modeled-us/step must be unchanged (676.8 barrier / 636.7 overlap) — the engine refactor is bit-compatible\",\n"
+    printf "  \"pr4_reference\": {\n"
+    printf "    \"comment\": \"PR-4 numbers live in BENCH_PR4.json; DistStep modeled-us/step must be unchanged (676.8 barrier / 636.7 overlap) — the hierarchical strategy plugs in without touching the flat paths\",\n"
     printf "    \"BenchmarkDistStepBarrier\": {\"modeled_us_step\": 676.8, \"exposed_comm_us_step\": 79.4},\n"
-    printf "    \"BenchmarkDistStepOverlap\": {\"modeled_us_step\": 636.7, \"exposed_comm_us_step\": 39.3}\n"
+    printf "    \"BenchmarkDistStepOverlapAuto\": {\"modeled_us_step\": 636.7, \"exposed_comm_us_step\": 39.3}\n"
     printf "  }\n"
     printf "}\n"
 }' > "$OUT"
