@@ -23,7 +23,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sw26010/ ./internal/swnode/ ./internal/swdnn/ ./internal/train/ ./internal/collective/ ./internal/allreduce/ ./internal/simnet/
+	$(GO) test -race ./internal/sw26010/ ./internal/swnode/ ./internal/swdnn/ ./internal/train/ ./internal/collective/ ./internal/allreduce/ ./internal/simnet/ ./internal/elastic/
 
 bench:
 	scripts/bench.sh

@@ -12,11 +12,13 @@ package swcaffe
 
 import (
 	"io"
+	"path/filepath"
 	"testing"
 
 	"swcaffe/internal/allreduce"
 	"swcaffe/internal/core"
 	"swcaffe/internal/dataset"
+	"swcaffe/internal/elastic"
 	"swcaffe/internal/experiments"
 	"swcaffe/internal/sw26010"
 	"swcaffe/internal/swdnn"
@@ -423,5 +425,93 @@ func BenchmarkCGTrainerStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t.Step()
+	}
+}
+
+// Elastic-training benchmarks: the cost of the fault-tolerance
+// machinery, so the checkpoint cadence and recovery latency can be
+// budgeted against the modeled step time.
+
+// benchElasticTrainer builds the p=8 timeline-mode trainer the
+// elastic benchmarks exercise and takes one warm-up step.
+func benchElasticTrainer(b *testing.B, nodes int) (*train.DistTrainer, dataset.Dataset) {
+	build := func() (*core.Net, map[string]*tensor.Tensor, error) {
+		net, inputs := benchNet(8)
+		return net, inputs, nil
+	}
+	d, err := train.NewDistTrainer(train.DistConfig{
+		Nodes: nodes, SubBatch: 8,
+		Solver:  core.SolverConfig{BaseLR: 0.01, Momentum: 0.9},
+		Overlap: true, BucketBytes: 8 << 10, Timeline: true,
+	}, build)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := dataset.NewClusters(512, 4, 1, 8, 8, 0.3, 7)
+	d.LoadShards(ds, 0)
+	d.Step()
+	return d, ds
+}
+
+// BenchmarkCheckpointSave captures the full trainer state and writes
+// the versioned gob atomically to disk.
+func BenchmarkCheckpointSave(b *testing.B) {
+	d, _ := benchElasticTrainer(b, 8)
+	defer d.Close()
+	path := filepath.Join(b.TempDir(), "bench.ckpt")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := elastic.Save(path, d.Checkpoint()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpointRestore reads the checkpoint back and installs
+// it into every replica.
+func BenchmarkCheckpointRestore(b *testing.B) {
+	d, _ := benchElasticTrainer(b, 8)
+	defer d.Close()
+	path := filepath.Join(b.TempDir(), "bench.ckpt")
+	if err := elastic.Save(path, d.Checkpoint()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := elastic.Load(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Restore(st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShrinkRecovery measures the full recovery sequence after a
+// rank failure at p=8: shrink the world to p'=7 (re-rank, fresh
+// communicator, discarded collective plan), restore the checkpoint,
+// and take the first step at the new shape (which re-runs plan
+// selection and re-lays the buckets).
+func BenchmarkShrinkRecovery(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d, ds := benchElasticTrainer(b, 8)
+		ckpt := d.Checkpoint()
+		b.StartTimer()
+		if err := d.Shrink(3); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Restore(ckpt); err != nil {
+			b.Fatal(err)
+		}
+		d.LoadShards(ds, d.Iter())
+		d.Step()
+		b.StopTimer()
+		d.Close()
+		b.StartTimer()
 	}
 }

@@ -9,12 +9,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"swcaffe/internal/allreduce"
 	"swcaffe/internal/collective"
 	"swcaffe/internal/core"
 	"swcaffe/internal/dataset"
+	"swcaffe/internal/elastic"
 	"swcaffe/internal/netdef"
 	"swcaffe/internal/tensor"
 	"swcaffe/internal/train"
@@ -59,6 +61,10 @@ func main() {
 	alg := flag.String("alg", "", "multi-node all-reduce: ring | binomial-tree | recursive-halving-doubling | hierarchical (hier) | auto (default RHD; auto lets the engine's plan selector pick the algorithm and bucket cap; the engine keeps every choice bit-identical under -overlap)")
 	hostMath := flag.Bool("hostmath", false, "multi-node: run worker passes as host goroutines instead of launches on per-worker simulated swnode.Nodes (numerics identical; skips the node timelines)")
 	timeline := flag.Bool("timeline", false, "multi-node: timeline-only simulated nodes (no CPE pools) — identical numerics and StepStats, scales to hundreds of nodes")
+	checkpointDir := flag.String("checkpoint-dir", "", "multi-node: directory for periodic on-disk checkpoints (versioned gob, atomic rename)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "multi-node: checkpoint every N completed iterations (0 = never; an in-memory step-0 checkpoint is still kept whenever -faultplan is set)")
+	resume := flag.String("resume", "", "multi-node: checkpoint file to restore before training (bit-exact: the resumed run continues the saved run's stream)")
+	faultplan := flag.String("faultplan", "", `multi-node: deterministic fault plan "r@s:phase[,...]" — kill rank r at step s during forward | backward | pack | flush | flush-bucket-k; the driver shrinks the world and resumes from the last checkpoint`)
 	flag.Parse()
 
 	// Validate -alg up front: an unknown name lists the registry
@@ -67,6 +73,20 @@ func main() {
 		if _, err := allreduce.ByName(*alg); err != nil {
 			fmt.Fprintf(os.Stderr, "swtrain: unknown -alg %q; valid: %s | %s\n",
 				*alg, strings.Join(allreduce.Names(), " | "), collective.NameAuto)
+			os.Exit(2)
+		}
+	}
+
+	elasticUsed := *checkpointDir != "" || *checkpointEvery > 0 || *resume != "" || *faultplan != ""
+	if elasticUsed && (*cg4 || *nodes == 1) {
+		fmt.Fprintln(os.Stderr, "swtrain: -checkpoint-dir/-checkpoint-every/-resume/-faultplan are multi-node flags")
+		os.Exit(2)
+	}
+	var faults *elastic.FaultPlan
+	if *faultplan != "" {
+		var err error
+		if faults, err = elastic.ParseFaultPlan(*faultplan); err != nil {
+			fmt.Fprintln(os.Stderr, "swtrain:", err)
 			os.Exit(2)
 		}
 	}
@@ -160,15 +180,75 @@ func main() {
 		Nodes: *nodes, SubBatch: *batch, Solver: solverCfg,
 		Overlap: *overlap, BucketBytes: *bucketKB << 10, AutoBucket: *autoBucket,
 		AlgorithmName: *alg, HostMath: *hostMath, Timeline: *timeline,
+		Faults: faults,
 	}, build)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	defer trainer.Close()
-	for it := 0; it < *iters; it++ {
+	if *resume != "" {
+		st, err := elastic.Load(*resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swtrain:", err)
+			os.Exit(1)
+		}
+		if err := trainer.Restore(st); err != nil {
+			fmt.Fprintln(os.Stderr, "swtrain:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("resumed from %s at step %d (saved at world size %d)\n", *resume, st.Step, st.World)
+	}
+	// The elastic driver: train by trainer.Iter() so a recovered step
+	// retries, keep the last checkpoint in memory (an implicit step-0
+	// one when faults are armed before any -checkpoint-every tick),
+	// and on a failure shrink the world and restore it.
+	var last *elastic.State
+	if faults != nil || *checkpointEvery > 0 {
+		last = trainer.Checkpoint()
+	}
+	step := func() (loss float32, pan any) {
+		defer func() { pan = recover() }()
+		return trainer.Step(), nil
+	}
+	for trainer.Iter() < *iters {
+		it := trainer.Iter()
 		trainer.LoadShards(ds, it)
-		loss := trainer.Step()
+		loss, pan := step()
+		if pan != nil {
+			failed := trainer.FailedRanks()
+			if len(failed) == 0 {
+				if r, ok := elastic.FailedRank(pan); ok {
+					failed = []int{r}
+				}
+			}
+			if len(failed) == 0 || last == nil {
+				panic(pan) // not an identifiable rank failure, or nothing to restore
+			}
+			p := len(trainer.Workers)
+			fmt.Printf("step %d: rank(s) %v failed (%v)\n", it, failed, pan)
+			if err := trainer.Shrink(failed...); err != nil {
+				fmt.Fprintln(os.Stderr, "swtrain:", err)
+				os.Exit(1)
+			}
+			if err := trainer.Restore(last); err != nil {
+				fmt.Fprintln(os.Stderr, "swtrain:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("shrunk world %d -> %d, restored checkpoint at step %d; continuing\n",
+				p, len(trainer.Workers), last.Step)
+			continue
+		}
+		if *checkpointEvery > 0 && trainer.Iter()%*checkpointEvery == 0 {
+			last = trainer.Checkpoint()
+			if *checkpointDir != "" {
+				path := filepath.Join(*checkpointDir, fmt.Sprintf("step%04d.ckpt", last.Step))
+				if err := elastic.Save(path, last); err != nil {
+					fmt.Fprintln(os.Stderr, "swtrain:", err)
+					os.Exit(1)
+				}
+			}
+		}
 		if it%20 == 0 || it == *iters-1 {
 			fmt.Printf("iter %4d  loss %.4f  (simulated comm so far %.4fs)\n", it, loss, trainer.CommTime)
 		}
@@ -185,7 +265,7 @@ func main() {
 		mode = fmt.Sprintf("overlap (%d buckets)", trainer.Buckets())
 	}
 	fmt.Printf("replicas consistent across %d nodes [%s]; simulated all-reduce %.4fs, exposed %.4fs, last modeled step %.6fs\n",
-		*nodes, mode, trainer.CommTime, trainer.ExposedCommTime, trainer.LastStep.StepTime)
+		len(trainer.Workers), mode, trainer.CommTime, trainer.ExposedCommTime, trainer.LastStep.StepTime)
 	if eng := trainer.Engine(); eng != nil {
 		sel := "fixed"
 		if eng.Auto() {
@@ -200,7 +280,7 @@ func main() {
 	}
 	if !*hostMath {
 		fmt.Printf("cluster runtime: %d simulated nodes, modeled compute %.4fs, node-timeline frontier %.4fs, %d launches on rank 0\n",
-			*nodes, trainer.ComputeTime, trainer.Node(0).SimTime(), trainer.Node(0).Launches())
+			len(trainer.Workers), trainer.ComputeTime, trainer.Node(0).SimTime(), trainer.Node(0).Launches())
 	}
 }
 

@@ -52,6 +52,7 @@ func Hierarchical(n *simnet.Node, data []float32) []float32 {
 // behind the collective engine's hierarchical overlap. With lo=0,
 // total=len(data) the schedule degenerates to the one-shot form.
 func HierarchicalSegment(n *simnet.Node, data []float32, lo, total int) []float32 {
+	hierPhase(n, HierIntraReduceScatter)
 	out := append([]float32(nil), data...)
 	p := n.P()
 	if p == 1 {
@@ -140,6 +141,7 @@ func HierarchicalSegment(n *simnet.Node, data []float32, lo, total int) []float3
 	// the c-th member of every supernode (K = min group size, so every
 	// group has one). The leader groups are disjoint rank sets running
 	// concurrently, each over its own 1/K share of the vector.
+	hierPhase(n, HierLeaderRHD)
 	for c := c0; c < c1; c++ {
 		if j != c {
 			continue
@@ -164,6 +166,7 @@ func HierarchicalSegment(n *simnet.Node, data []float32, lo, total int) []float3
 	// finished chunks, so every member leaves with every chunk after
 	// g-1 rounds. The finished chunk is sent by reference: its owner
 	// never rewrites it within this run, and receivers copy out.
+	hierPhase(n, HierAllgather)
 	for r := 0; r < tournamentRounds(g); r++ {
 		pt := tournamentPartner(j, r, g)
 		if pt < 0 || (!chunkLive(pt) && !chunkLive(j)) {

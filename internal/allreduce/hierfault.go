@@ -1,0 +1,58 @@
+package allreduce
+
+import (
+	"sync/atomic"
+
+	"swcaffe/internal/simnet"
+)
+
+// Fault-injection seam for the hierarchical schedule. The flat
+// algorithms are killable from the collective engine's per-bucket
+// flush hook, but the hierarchical schedule has internal structure
+// worth failing *inside*: a rank dying between the intra-supernode
+// reduce-scatter and the leader RHD strands different peer sets (its
+// group's tournament partners vs. the other supernodes' leaders) on
+// different channels. The phase hook lets tests kill a rank at each
+// boundary and prove the surrounding Run teardown quiesces every
+// case.
+
+// HierPhase names one phase boundary of the hierarchical schedule.
+type HierPhase string
+
+const (
+	// HierIntraReduceScatter fires before phase A's tournament.
+	HierIntraReduceScatter HierPhase = "intra-reduce-scatter"
+	// HierLeaderRHD fires before phase B's leader RHD (on every rank,
+	// leader or not — the boundary, not the role, is the point).
+	HierLeaderRHD HierPhase = "leader-rhd"
+	// HierAllgather fires before phase C's tournament.
+	HierAllgather HierPhase = "allgather"
+)
+
+// hierPhaseHook runs on every rank at each phase boundary of
+// HierarchicalSegment; the nil fast path keeps the production
+// schedule untouched. It is atomic rather than a plain var because
+// a killed collective strands its surviving rank goroutines without
+// joining them (see simnet.Cluster.Run), and a stranded rank may
+// still cross a phase boundary while the test goroutine re-arms the
+// hook for the next kill.
+var hierPhaseHook atomic.Pointer[func(n *simnet.Node, phase HierPhase)]
+
+// SetHierPhaseHook installs (or, with nil, removes) the hierarchical
+// phase hook and returns the previous one so tests can restore it.
+func SetHierPhaseHook(h func(n *simnet.Node, phase HierPhase)) (prev func(n *simnet.Node, phase HierPhase)) {
+	var p *func(n *simnet.Node, phase HierPhase)
+	if h != nil {
+		p = &h
+	}
+	if old := hierPhaseHook.Swap(p); old != nil {
+		return *old
+	}
+	return nil
+}
+
+func hierPhase(n *simnet.Node, phase HierPhase) {
+	if h := hierPhaseHook.Load(); h != nil {
+		(*h)(n, phase)
+	}
+}

@@ -89,6 +89,14 @@ type Config struct {
 	// SelectBucketBytes and the formula at allreduce.CostByName).
 	BucketBytes int
 	AutoBucket  bool
+
+	// FlushHook, when non-nil, runs on each rank's goroutine at the
+	// top of every bucket reduce (ReduceSeg with the bucket index;
+	// ReduceFull — the barrier's single flush — as bucket 0). It is
+	// the fault-injection seam: a hook that panics dies inside the
+	// simnet run, exercising the production collective-failure path.
+	// The hook must be safe for concurrent calls from rank goroutines.
+	FlushHook func(rank, bucket int)
 }
 
 // Engine owns gradient bucket construction, the per-step flush
@@ -290,6 +298,9 @@ func (e *Engine) RankViews() [][]float32 { return e.views }
 // captured view (see RankViews), and charges the final averaging
 // sweep.
 func (e *Engine) ReduceSeg(n *simnet.Node, b int, pack []float32) []float32 {
+	if e.cfg.FlushHook != nil {
+		e.cfg.FlushHook(n.Rank, b)
+	}
 	bk := e.buckets[b]
 	out := e.strat.Reduce(n, pack[bk.Lo:bk.Hi], bk.Lo, e.total)
 	n.ChargeReduce(len(out))
@@ -300,6 +311,9 @@ func (e *Engine) ReduceSeg(n *simnet.Node, b int, pack []float32) []float32 {
 // vector — the barrier flush. Bit-identical to flushing the buckets:
 // that is the strategies' contract.
 func (e *Engine) ReduceFull(n *simnet.Node, pack []float32) []float32 {
+	if e.cfg.FlushHook != nil {
+		e.cfg.FlushHook(n.Rank, 0)
+	}
 	out := e.strat.Reduce(n, pack, 0, e.total)
 	n.ChargeReduce(len(out))
 	return out

@@ -142,6 +142,21 @@ func (s *Solver) ApplyUpdate() {
 	s.iter++
 }
 
+// History returns the momentum buffer of a parameter, or nil if no
+// update has touched it yet. Checkpoint capture uses this read-only
+// view: params the solver never updated have no buffer to save.
+func (s *Solver) History(p *Param) *tensor.Tensor { return s.history[p] }
+
+// EnsureHistory returns the momentum buffer of a parameter,
+// allocating it zeroed on first use — checkpoint restore writes a
+// saved buffer here before the solver's next update reads it.
+func (s *Solver) EnsureHistory(p *Param) *tensor.Tensor { return s.historyFor(p) }
+
+// SetIter overwrites the completed-iteration counter. The counter
+// drives the LR policy, so a restored trainer must resume the decay
+// schedule where the checkpoint left it.
+func (s *Solver) SetIter(iter int) { s.iter = iter }
+
 // historyFor returns (allocating on first use) the momentum buffer of
 // a parameter.
 func (s *Solver) historyFor(p *Param) *tensor.Tensor {

@@ -123,9 +123,17 @@ func Batch(d Dataset, start int, data, labels *tensor.Tensor) {
 	}
 }
 
+// Sampler is the index source RandomBatch draws from. *rand.Rand
+// satisfies it; so does elastic.RNG, whose cursor rides inside
+// checkpoints so a restored trainer resumes the identical sample
+// stream.
+type Sampler interface {
+	Intn(n int) int
+}
+
 // RandomBatch fills a batch by random sampling with the given rng —
 // the "random sampling prior to each iteration" of Sec. V-B.
-func RandomBatch(d Dataset, rng *rand.Rand, data, labels *tensor.Tensor) {
+func RandomBatch(d Dataset, rng Sampler, data, labels *tensor.Tensor) {
 	c, h, w := d.Dims()
 	per := c * h * w
 	for b := 0; b < data.N; b++ {

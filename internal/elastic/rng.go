@@ -1,0 +1,46 @@
+package elastic
+
+// RNG is a counted splitmix64 stream built for checkpointing: the
+// cursor (Seed, Draws) names the exact stream position, and restoring
+// a cursor is O(1) — the k-th draw is a pure function of seed and k,
+// so there is no hidden generator state to replay. math/rand would
+// not do here: its Intn consumes a data-dependent number of internal
+// draws (rejection sampling), so "number of calls" does not name a
+// stream position that can be sought to.
+//
+// Splitmix64 (Steele, Lea, Flood; JPDC 2014) passes BigCrush and is
+// the standard seeding generator for xoshiro; its statistical quality
+// is far beyond what batch sampling needs.
+type RNG struct {
+	Seed  uint64
+	Draws uint64
+}
+
+// NewRNG returns a fresh stream at draw 0.
+func NewRNG(seed uint64) *RNG { return &RNG{Seed: seed} }
+
+// RestoreRNG re-creates a stream at a saved cursor in O(1).
+func RestoreRNG(seed, draws uint64) *RNG { return &RNG{Seed: seed, Draws: draws} }
+
+// Cursor returns the checkpoint cursor: the next draw continues the
+// stream exactly where a restored copy would.
+func (r *RNG) Cursor() (seed, draws uint64) { return r.Seed, r.Draws }
+
+// Uint64 returns the next draw and advances the cursor by exactly one.
+func (r *RNG) Uint64() uint64 {
+	r.Draws++
+	x := r.Seed + r.Draws*0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Intn returns a draw in [0, n). The modulo bias is below 2^-40 for
+// any dataset-sized n, and — more importantly for this package — the
+// result is a deterministic function of the cursor alone.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("elastic: RNG.Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}

@@ -252,6 +252,34 @@ func (n *Node) ChargeReduce(elems int) {
 	*n.clock += bytes * rate
 }
 
+// NodePanic is the panic value Run/RunGather re-raise when a rank's
+// body panics: the original value plus the world rank it died on.
+// Recovery layers (the elastic shrink protocol) extract the victim
+// via FailedRank without parsing the message text.
+type NodePanic struct {
+	Rank  int
+	Value any
+}
+
+func (p NodePanic) Error() string {
+	return fmt.Sprintf("simnet: node panic on rank %d: %v", p.Rank, p.Value)
+}
+
+func (p NodePanic) String() string { return p.Error() }
+
+// FailedRank returns the world rank whose body panicked. The method
+// (rather than the field) is the cross-package contract:
+// elastic.FailedRank matches any panic value exposing it.
+func (p NodePanic) FailedRank() int { return p.Rank }
+
+// Unwrap exposes the original panic when it was itself an error.
+func (p NodePanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // Result summarizes one collective run.
 type Result struct {
 	// Time is the makespan: the maximum finishing clock over nodes.
@@ -318,13 +346,13 @@ func (c *Cluster) RunGather(body func(n *Node) []float32) (Result, [][]float32) 
 		nodes[r] = &Node{Rank: r, cluster: c, run: rs, clock: new(float64)}
 	}
 	wg.Add(c.P)
-	panicCh := make(chan string, c.P)
+	panicCh := make(chan NodePanic, c.P)
 	for r := 0; r < c.P; r++ {
 		go func(nd *Node) {
 			defer wg.Done()
 			defer func() {
 				if rec := recover(); rec != nil {
-					panicCh <- fmt.Sprintf("rank %d: %v", nd.Rank, rec)
+					panicCh <- NodePanic{Rank: nd.Rank, Value: rec}
 				}
 			}()
 			rs.results[nd.Rank] = body(nd)
@@ -338,13 +366,13 @@ func (c *Cluster) RunGather(body func(n *Node) []float32) (Result, [][]float32) 
 		close(done)
 	}()
 	select {
-	case msg := <-panicCh:
-		panic("simnet: node panic on " + msg)
+	case np := <-panicCh:
+		panic(np)
 	case <-done:
 	}
 	select {
-	case msg := <-panicCh:
-		panic("simnet: node panic on " + msg)
+	case np := <-panicCh:
+		panic(np)
 	default:
 	}
 	res := Result{Clocks: make([]float64, c.P), Msgs: rs.msgs.Load(),

@@ -41,6 +41,7 @@ type Node struct {
 
 	mu       sync.Mutex
 	load     [sw26010.CoreGroups]float64 // cumulative scheduling weight per CG
+	speed    [sw26010.CoreGroups]float64 // relative CG speed (1 = healthy)
 	lastOnCG [sw26010.CoreGroups]*Event  // tail of each CG's assignment chain
 	launches int
 	firstErr any
@@ -57,6 +58,9 @@ func NewNode(m *sw26010.Model) *Node {
 		m = sw26010.Default()
 	}
 	n := &Node{Model: m}
+	for i := range n.speed {
+		n.speed[i] = 1
+	}
 	for i := range n.cgs {
 		n.cgs[i] = sw26010.NewCoreGroup(m)
 	}
@@ -76,7 +80,11 @@ func NewTimelineNode(m *sw26010.Model) *Node {
 	if m == nil {
 		m = sw26010.Default()
 	}
-	return &Node{Model: m, timeline: true}
+	n := &Node{Model: m, timeline: true}
+	for i := range n.speed {
+		n.speed[i] = 1
+	}
+	return n
 }
 
 // Timeline reports whether this is a timeline-only node (no CPE
@@ -107,17 +115,77 @@ func (n *Node) PinnedStream(cg int) *Stream {
 	return &Stream{node: n, pin: cg}
 }
 
+// SoftPinnedStream returns a stream that prefers CoreGroup cg but
+// lets the scheduler steal a launch onto the least-loaded CG when the
+// preference's backlog is strictly worse even after the steal (see
+// placeSoft) — the work-stealing placement that rebalances degraded
+// or skewed per-CG loads mid-step. On a balanced healthy node the
+// steal condition never triggers, so a soft pin places exactly like a
+// hard pin; determinism is unchanged either way, because the decision
+// depends only on the launch/weight/speed sequence.
+func (n *Node) SoftPinnedStream(cg int) *Stream {
+	if cg < 0 || cg >= sw26010.CoreGroups {
+		panic(fmt.Sprintf("swnode: pin to CG %d out of range", cg))
+	}
+	return &Stream{node: n, pin: cg, soft: true}
+}
+
+// SetCGSpeed declares CoreGroup cg's relative speed (1 = healthy,
+// 0.5 = half speed — a degraded CG). Subsequent launches placed on cg
+// are charged duration/s on the modeled timeline, and the scheduler
+// weighs cg's backlog by 1/s, so unpinned and soft-pinned work drains
+// away from slow CoreGroups. Speeds are part of the launch sequence
+// for determinism purposes: runs that set the same speeds at the same
+// points place identically. The default speed of 1 is exact — x/1
+// changes no bits — so a node that never calls SetCGSpeed schedules
+// and prices launches bit-identically to a build without speeds.
+func (n *Node) SetCGSpeed(cg int, s float64) {
+	if cg < 0 || cg >= sw26010.CoreGroups {
+		panic(fmt.Sprintf("swnode: CG %d out of range", cg))
+	}
+	if s <= 0 {
+		panic(fmt.Sprintf("swnode: CG speed %v must be positive", s))
+	}
+	n.mu.Lock()
+	n.speed[cg] = s
+	n.mu.Unlock()
+}
+
+// effLoad is the scheduler's view of a CoreGroup's backlog: cumulative
+// assigned weight divided by speed, i.e. the modeled time the CG needs
+// to drain what it has been handed. Called with n.mu held.
+func (n *Node) effLoad(i int) float64 { return n.load[i] / n.speed[i] }
+
 // leastLoaded picks the placement for an unpinned launch. Called with
-// n.mu held; depends only on the sequence of prior Launch calls, so
-// placement is reproducible.
+// n.mu held; depends only on the sequence of prior Launch calls (and
+// SetCGSpeed calls), so placement is reproducible.
 func (n *Node) leastLoaded() int {
 	best := 0
 	for i := 1; i < sw26010.CoreGroups; i++ {
-		if n.load[i] < n.load[best] {
+		if n.effLoad(i) < n.effLoad(best) {
 			best = i
 		}
 	}
 	return best
+}
+
+// placeSoft picks the placement for a soft-pinned launch: the
+// preferred CoreGroup, unless stealing strictly improves this
+// launch's modeled start — the preferred CG's effective backlog
+// exceeds the least-loaded CG's even after the latter absorbs this
+// launch's weight. The decision reads only cumulative weights and
+// speeds under n.mu (never completion times or host scheduling), so
+// rebalancing away from degraded or skewed CGs is as deterministic as
+// the pinned placement it overrides. Called with n.mu held.
+func (n *Node) placeSoft(pref int, weight float64) int {
+	best := n.leastLoaded()
+	if best == pref {
+		return pref
+	}
+	if n.effLoad(pref) > n.effLoad(best)+weight/n.speed[best] {
+		return best
+	}
+	return pref
 }
 
 // Launches returns the number of launches submitted so far.
@@ -170,11 +238,22 @@ func (n *Node) Stats() sw26010.Stats {
 }
 
 // Close drains outstanding launches and stops the CoreGroup worker
-// pools. The node must not be used afterwards.
+// pools. The node must not be used afterwards. Close is idempotent —
+// a node reached through both a direct handle and Cluster.Close (the
+// shrink protocol closes a failed rank's node before the cluster
+// winds down) drains exactly once. The closed flag is set before the
+// drain so a racing Launch either lands fully before the drain or
+// fails fast, never half-registers against a completed Wait.
 func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	n.mu.Unlock()
 	n.pending.Wait()
 	n.mu.Lock()
-	n.closed = true
 	n.firstErr = nil
 	n.mu.Unlock()
 	for _, cg := range n.cgs {

@@ -14,7 +14,8 @@ import (
 // handling the failure, continue on a fresh stream.
 type Stream struct {
 	node *Node
-	pin  int // CoreGroup index, or Unpinned
+	pin  int  // CoreGroup index, or Unpinned
+	soft bool // pin is a preference the scheduler may steal from
 
 	mu   sync.Mutex
 	tail *Event
@@ -23,9 +24,10 @@ type Stream struct {
 // Event is the completion handle of one launch. It resolves when the
 // launch's kernel (and every launch it waits on) has finished.
 type Event struct {
-	node *Node
-	cg   int
-	done chan struct{}
+	node  *Node
+	cg    int
+	speed float64 // the placed CG's speed at launch time
+	done  chan struct{}
 
 	// Written by the launch goroutine before done is closed.
 	simTime  float64 // the kernel's own simulated duration
@@ -117,10 +119,12 @@ func (s *Stream) launch(weight float64, exec func(e *Event) float64, deps []*Eve
 	cg := s.pin
 	if cg == Unpinned {
 		cg = n.leastLoaded()
+	} else if s.soft {
+		cg = n.placeSoft(cg, weight)
 	}
 	n.load[cg] += weight
 	n.launches++
-	e := &Event{node: n, cg: cg, done: make(chan struct{})}
+	e := &Event{node: n, cg: cg, speed: n.speed[cg], done: make(chan struct{})}
 	cgPrev := n.lastOnCG[cg]
 	n.lastOnCG[cg] = e
 	n.pending.Add(1)
@@ -213,6 +217,12 @@ func (e *Event) run(exec func(e *Event) float64, cgPrev *Event, waits []*Event) 
 		}
 	}()
 	t := exec(e)
+	if e.speed != 1 {
+		// A degraded CG (SetCGSpeed) stretches the kernel's modeled
+		// duration; the healthy case skips the divide so speeds change
+		// no bits for nodes that never declare one.
+		t /= e.speed
+	}
 	e.simTime = t
 	e.simEnd = start + t
 }

@@ -1,0 +1,239 @@
+package train
+
+import (
+	"fmt"
+	"sort"
+
+	"swcaffe/internal/core"
+	"swcaffe/internal/dataset"
+	"swcaffe/internal/elastic"
+	"swcaffe/internal/simnet"
+	"swcaffe/internal/tensor"
+)
+
+// Elastic fault tolerance (paper-scale robustness: at p = 1024 a
+// node failure is the expected case). The protocol is
+// checkpoint / detect / shrink / restore / continue:
+//
+//	ckpt := t.Checkpoint()            // every N steps
+//	if r := recoverStep(t); r != nil {
+//	    failed := victims(r, t)        // elastic.FailedRank + t.FailedRanks
+//	    t.Shrink(failed...)            // world re-forms at p' < p
+//	    t.Restore(ckpt)                // bits of the last checkpoint
+//	    // continue: training at p' is bit-identical to a fresh
+//	    // p'-trainer restored from the same checkpoint.
+//	}
+//
+// Detection rides the machinery PR 3 built: a pass panic poisons the
+// worker's stream (Stream.Poisoned), and a collective panic surfaces
+// as simnet's rank-carrying NodePanic. Shrink drops the failed
+// workers, re-ranks the survivors, re-forms the simnet communicator
+// at p', and discards the collective engine so the next Step re-runs
+// collective.SelectPlan for the new shape — hierarchical may
+// legitimately fall back to flat when p' <= q — and re-lays the
+// buckets on the new chunk partition. Re-sharding is free: shard
+// addressing is a pure function of (rank, cfg.Nodes).
+
+// blobOf captures one named tensor bit-exactly.
+func blobOf(name string, tn *tensor.Tensor) elastic.Blob {
+	return elastic.Blob{Name: name, Shape: [4]int{tn.N, tn.C, tn.H, tn.W}, Data: append([]float32(nil), tn.Data...)}
+}
+
+// Checkpoint captures the full trainer state from rank 0 — parameters
+// (learnables and BN running statistics), solver momentum buffers and
+// iteration counter, the sampler cursor, and the step counter — as a
+// self-contained elastic.State. Replicas are identical by the SSGD
+// invariant, so one rank's bits are the world's. Call it between
+// Steps (the trainer is quiescent then, even after a recovered
+// failure: the failure path joins every pass before re-panicking).
+func (t *DistTrainer) Checkpoint() *elastic.State {
+	w := t.Workers[0]
+	st := &elastic.State{
+		Step:       t.iter,
+		World:      len(t.Workers),
+		SolverIter: w.Solver.Iter(),
+	}
+	if t.sampler != nil {
+		st.HasSampler = true
+		st.RNGSeed, st.RNGDraws = t.sampler.Cursor()
+	}
+	for _, p := range w.Net.Params() {
+		st.Params = append(st.Params, blobOf(p.Name, p.Data))
+	}
+	for _, p := range w.Net.LearnableParams() {
+		if h := w.Solver.History(p); h != nil {
+			st.History = append(st.History, blobOf("history/"+p.Name, h))
+		}
+	}
+	return st
+}
+
+// Restore loads a checkpoint into every worker replica: parameters,
+// solver momentum and iteration, sampler cursor, and the trainer's
+// step counter. The world size need not match the checkpoint's —
+// that is the point of shrink-and-continue — but the network
+// architecture must. After Restore the trainer is bit-identical to
+// one that trained to st.Step and never stopped.
+func (t *DistTrainer) Restore(st *elastic.State) error {
+	for _, w := range t.Workers {
+		byName := make(map[string]*core.Param)
+		for _, p := range w.Net.Params() {
+			byName[p.Name] = p
+		}
+		for _, b := range st.Params {
+			p, ok := byName[b.Name]
+			if !ok {
+				return fmt.Errorf("train: checkpoint param %q not in network", b.Name)
+			}
+			if p.Data.Len() != len(b.Data) {
+				return fmt.Errorf("train: checkpoint param %q has %d elems, network wants %d", b.Name, len(b.Data), p.Data.Len())
+			}
+			copy(p.Data.Data, b.Data)
+		}
+		learn := make(map[string]*core.Param)
+		for _, p := range w.Net.LearnableParams() {
+			learn[p.Name] = p
+		}
+		for _, b := range st.History {
+			name := b.Name[len("history/"):]
+			p, ok := learn[name]
+			if !ok {
+				return fmt.Errorf("train: checkpoint history %q not a learnable param", b.Name)
+			}
+			h := w.Solver.EnsureHistory(p)
+			if h.Len() != len(b.Data) {
+				return fmt.Errorf("train: checkpoint history %q has %d elems, solver wants %d", b.Name, len(b.Data), h.Len())
+			}
+			copy(h.Data, b.Data)
+		}
+		w.Solver.SetIter(st.SolverIter)
+	}
+	if st.HasSampler {
+		t.sampler = elastic.RestoreRNG(st.RNGSeed, st.RNGDraws)
+	}
+	t.iter = st.Step
+	return nil
+}
+
+// FailedRanks reports the workers whose most recent pass panicked
+// (poisoned streams in node mode; recorded pass panics in HostMath
+// mode). Call it after recovering from a failed Step and before
+// Shrink or the next Step — both clear the poison. Ranks that died
+// inside a collective do not poison their pass stream; identify those
+// from the recovered panic value via elastic.FailedRank.
+func (t *DistTrainer) FailedRanks() []int {
+	var failed []int
+	if t.nodes != nil {
+		for i, w := range t.Workers {
+			if w.stream.Poisoned() {
+				failed = append(failed, i)
+			}
+		}
+		return failed
+	}
+	t.hostMu.Lock()
+	failed = append(failed, t.hostFailed...)
+	t.hostMu.Unlock()
+	sort.Ints(failed)
+	return failed
+}
+
+// Shrink re-forms the world without the failed ranks: survivors are
+// re-ranked densely in their old order, the failed ranks' simulated
+// nodes are closed, a fresh simnet communicator is built at p', and
+// the collective engine is discarded so the next Step re-selects the
+// plan (algorithm × bucket cap) for the new shape and re-lays the
+// buckets on its chunk partition. The caller is expected to have
+// recovered from the failed Step already — its failure path quiesced
+// every in-flight pass — and to Restore a checkpoint afterwards,
+// since the interrupted step left replicas mid-update.
+func (t *DistTrainer) Shrink(failed ...int) error {
+	if len(failed) == 0 {
+		return fmt.Errorf("train: Shrink with no failed ranks")
+	}
+	p := len(t.Workers)
+	dead := make(map[int]bool, len(failed))
+	for _, r := range failed {
+		if r < 0 || r >= p {
+			return fmt.Errorf("train: Shrink rank %d out of range [0,%d)", r, p)
+		}
+		if dead[r] {
+			return fmt.Errorf("train: Shrink rank %d listed twice", r)
+		}
+		dead[r] = true
+	}
+	if len(failed) >= p {
+		return fmt.Errorf("train: Shrink would leave no survivors (p=%d, %d failed)", p, len(failed))
+	}
+
+	survivors := make([]*Worker, 0, p-len(failed))
+	for r, w := range t.Workers {
+		if dead[r] {
+			// Idempotent: the node may be closed again by Cluster.Close
+			// when the trainer winds down.
+			if w.node != nil {
+				w.node.Close()
+			}
+			continue
+		}
+		survivors = append(survivors, w)
+	}
+	for i, w := range survivors {
+		w.Rank = i
+	}
+	t.Workers = survivors
+	t.cfg.Nodes = len(survivors)
+
+	// Fresh communicator at p'. Ranks stranded in the abandoned
+	// cluster's run state keep their private channels; nothing they do
+	// can reach the new world.
+	t.cluster = simnet.NewCluster(t.cfg.Network, t.cfg.Mapping, t.cfg.Nodes)
+	t.cluster.ReduceOnCPE = true
+
+	// Discard the engine: bucket alignment and the plan selection both
+	// depend on p. The stranded ranks above may still read the old
+	// engine's staging, but they hold the only references to it now, so
+	// no orphaning dance is needed.
+	t.engine = nil
+	t.commDirty = false
+	t.losses = make([]float32, len(survivors))
+	return nil
+}
+
+// UseSampler installs a checkpointable RNG (seeded splitmix64 stream)
+// for LoadRandomShards. Its cursor rides inside checkpoints, so a
+// restored trainer consumes the identical sample stream — including
+// across a shrink, where the smaller world simply draws fewer samples
+// per step from the same stream.
+func (t *DistTrainer) UseSampler(seed uint64) { t.sampler = elastic.NewRNG(seed) }
+
+// Sampler returns the trainer's checkpointable RNG (nil unless
+// UseSampler was called or a sampler-bearing checkpoint restored).
+func (t *DistTrainer) Sampler() *elastic.RNG { return t.sampler }
+
+// LoadRandomShards fills every worker's inputs by sampling with the
+// trainer's checkpointable RNG — the "random sampling prior to each
+// iteration" of Sec. V-B, in a form whose exact position survives
+// checkpoint/restore.
+func (t *DistTrainer) LoadRandomShards(ds dataset.Dataset) {
+	if t.sampler == nil {
+		panic("train: LoadRandomShards before UseSampler (or a sampler-bearing Restore)")
+	}
+	for _, w := range t.Workers {
+		dataset.RandomBatch(ds, t.sampler, w.Data, w.Labels)
+	}
+}
+
+// flushHook builds the collective engine's fault-injection hook (nil
+// when no fault plan is configured, keeping the hot path untouched).
+// It runs on simnet rank goroutines, so the step number comes from
+// the atomic mirror Step maintains rather than t.iter.
+func (t *DistTrainer) flushHook() func(rank, bucket int) {
+	fp := t.cfg.Faults
+	if fp == nil {
+		return nil
+	}
+	return func(rank, bucket int) {
+		fp.Check(rank, int(t.stepNo.Load()), elastic.PhaseFlush, bucket)
+	}
+}

@@ -3,6 +3,7 @@ package train
 import (
 	"swcaffe/internal/collective"
 	"swcaffe/internal/core"
+	"swcaffe/internal/elastic"
 	"swcaffe/internal/perf"
 	"swcaffe/internal/simnet"
 )
@@ -81,6 +82,7 @@ func (t *DistTrainer) ensureEngine() {
 		AlgorithmName: t.cfg.AlgorithmName,
 		BucketBytes:   t.cfg.BucketBytes,
 		AutoBucket:    t.cfg.AutoBucket,
+		FlushHook:     t.flushHook(),
 	})
 	if err != nil {
 		// Configuration errors are caught by NewDistTrainer; anything
@@ -103,10 +105,22 @@ func (t *DistTrainer) stepOverlap() float32 {
 	// incremental walk would rebuild computeEnd from float differences
 	// and shed bits); the per-layer production offsets of the modeled
 	// overlay come from layerDone, where the engine flushes buckets.
+	fp, step := t.cfg.Faults, t.iter
 	join, failed := t.launchPasses(true, func(i int, w *Worker, tick func(float64)) {
+		if fp != nil {
+			fp.Check(i, step, elastic.PhaseForward, -1)
+		}
 		w.Net.ZeroParamDiffs()
 		losses[i] = w.Net.Forward(core.Train)
+		if fp != nil {
+			fp.Check(i, step, elastic.PhaseBackward, -1)
+		}
 		w.Net.BackwardEach(core.Train, func(li int) {
+			if fp != nil {
+				// The overlap path packs incrementally: the pack fault
+				// fires (once) at the rank's first Produce of the step.
+				fp.Check(i, step, elastic.PhasePack, -1)
+			}
 			eng.Produce(i, li, w.diffs)
 		})
 		tick(t.computeEnd)

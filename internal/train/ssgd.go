@@ -3,11 +3,13 @@ package train
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"swcaffe/internal/allreduce"
 	"swcaffe/internal/collective"
 	"swcaffe/internal/core"
 	"swcaffe/internal/dataset"
+	"swcaffe/internal/elastic"
 	"swcaffe/internal/perf"
 	"swcaffe/internal/simnet"
 	"swcaffe/internal/sw26010"
@@ -104,6 +106,13 @@ type DistConfig struct {
 	// worker pools is not worth it. Node-backed trainers own goroutine
 	// pools: call Close when done.
 	HostMath bool
+
+	// Faults, when non-nil, is a deterministic fault-injection plan:
+	// matching (rank, step, phase) checkpoints inside the passes and
+	// the collective panic with elastic.Injected, killing the rank
+	// through the production failure machinery (event poisoning,
+	// simnet run teardown). Nil costs nothing on the hot path.
+	Faults *elastic.FaultPlan
 }
 
 // DefaultBucketBytes is the overlapped trainer's fixed bucket cap
@@ -163,6 +172,22 @@ type DistTrainer struct {
 	// old buffers to them instead of racing them. Failure-path-only;
 	// the hot path stays allocation-free.
 	commDirty bool
+
+	// stepNo mirrors t.iter atomically for readers on rank/CPE
+	// goroutines (the fault-injection flush hook); t.iter itself is
+	// main-goroutine state.
+	stepNo atomic.Int64
+
+	// sampler is the checkpointable batch RNG (see UseSampler); its
+	// cursor rides inside checkpoints.
+	sampler *elastic.RNG
+
+	// HostMath-mode pass-failure bookkeeping: the recover-and-record
+	// twin of node-mode event poisoning, so fault recovery works
+	// uniformly across execution modes.
+	hostMu     sync.Mutex
+	hostErr    any
+	hostFailed []int
 }
 
 // StepStats is the modeled time decomposition of one Step of the
@@ -239,12 +264,14 @@ func NewDistTrainer(cfg DistConfig, buildNet func() (*core.Net, map[string]*tens
 func (t *DistTrainer) Iter() int { return t.iter }
 
 // Node returns worker rank's simulated node (nil in HostMath mode) for
-// stats and stream access.
+// stats and stream access. Indexed through the worker, not the node
+// cluster: after a Shrink the surviving re-ranked workers keep their
+// original nodes, so rank i's node need not be cluster slot i.
 func (t *DistTrainer) Node(rank int) *swnode.Node {
 	if t.nodes == nil {
 		return nil
 	}
-	return t.nodes.Node(rank)
+	return t.Workers[rank].node
 }
 
 // PassPlacements reports, for each worker, which of its node's four
@@ -292,15 +319,16 @@ func (t *DistTrainer) Close() {
 // stream/event happens-before.
 //
 // failed matters to callers that block on signals a pass produces
-// mid-flight (the overlap flush loop): a node-mode kernel panic is
-// recovered into its Event, so a poisoned worker goes quiet instead
-// of crashing — without a side channel the caller would wait forever
-// on a signal that never comes. failed delivers the first pass panic
-// after every pass has quiesced (healthy workers never block on the
-// cap-1 bucket signals, so quiescence is guaranteed). It is nil when
-// watch is false (callers that join immediately, like the barrier
-// path, get their panic from join) and in HostMath mode, where a pass
-// panic crashes the process directly.
+// mid-flight (the overlap flush loop): a pass panic is recovered —
+// into its launch Event in node mode, into the trainer's host-side
+// bookkeeping in HostMath mode — so a poisoned worker goes quiet
+// instead of crashing; without a side channel the caller would wait
+// forever on a signal that never comes. failed delivers the first
+// pass panic after every pass has quiesced (healthy workers never
+// block on the cap-1 bucket signals, so quiescence is guaranteed).
+// It is nil when watch is false: callers that join immediately, like
+// the barrier path, get their panic from join, which re-raises the
+// first pass failure once on every execution mode.
 func (t *DistTrainer) launchPasses(watch bool, pass func(i int, w *Worker, tick func(float64))) (join func(), failed <-chan any) {
 	if t.nodes != nil {
 		// Recovery bookkeeping, a no-op on the healthy path: a failed
@@ -365,15 +393,57 @@ func (t *DistTrainer) launchPasses(watch bool, pass func(i int, w *Worker, tick 
 		}
 		return t.nodes.Sync, fc
 	}
+	// HostMath: plain goroutines with the same recovery semantics as
+	// the node path — a pass panic is recorded (first value wins, all
+	// victim ranks noted for FailedRanks) and re-raised once from join,
+	// so fault injection and shrink-and-continue work identically on
+	// the sweep path.
+	t.hostMu.Lock()
+	t.hostErr = nil
+	t.hostFailed = t.hostFailed[:0]
+	t.hostMu.Unlock()
 	var wg sync.WaitGroup
 	wg.Add(len(t.Workers))
 	for i, w := range t.Workers {
 		go func(i int, w *Worker) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					t.hostMu.Lock()
+					if t.hostErr == nil {
+						t.hostErr = r
+					}
+					t.hostFailed = append(t.hostFailed, i)
+					t.hostMu.Unlock()
+				}
+			}()
 			pass(i, w, func(float64) {})
 		}(i, w)
 	}
-	return wg.Wait, nil
+	join = func() {
+		wg.Wait()
+		t.hostMu.Lock()
+		err := t.hostErr
+		t.hostErr = nil // re-raise once, like Node.Sync
+		t.hostMu.Unlock()
+		if err != nil {
+			panic(err)
+		}
+	}
+	var fc chan any
+	if watch {
+		fc = make(chan any, 1)
+		go func() {
+			wg.Wait()
+			t.hostMu.Lock()
+			err := t.hostErr
+			t.hostMu.Unlock()
+			if err != nil {
+				fc <- err
+			}
+		}()
+	}
+	return join, fc
 }
 
 // stepCompute closes out the compute leg of one Step: the maximum of
@@ -400,6 +470,7 @@ func (t *DistTrainer) stepCompute() float64 {
 // workers. With cfg.Overlap it runs the bucketed pipeline; otherwise
 // the strict pack → reduce → unpack barrier.
 func (t *DistTrainer) Step() float32 {
+	t.stepNo.Store(int64(t.iter))
 	if t.commDirty {
 		t.resetCommStaging()
 	}
@@ -423,12 +494,19 @@ func (t *DistTrainer) stepBarrier() float32 {
 	t.ensureEngine()
 	eng := t.engine
 	losses := t.losses
+	fp, step := t.cfg.Faults, t.iter
 	// Local forward/backward (the 4-CG compute of Algorithm 1 lines
 	// 3-8 collapses to one functional pass per node), one launch per
 	// worker on its simulated node.
 	join, _ := t.launchPasses(false, func(i int, w *Worker, tick func(float64)) {
+		if fp != nil {
+			fp.Check(i, step, elastic.PhaseForward, -1)
+		}
 		w.Net.ZeroParamDiffs()
 		losses[i] = w.Net.Forward(core.Train)
+		if fp != nil {
+			fp.Check(i, step, elastic.PhaseBackward, -1)
+		}
 		w.Net.Backward(core.Train)
 		tick(t.computeEnd)
 	})
@@ -439,6 +517,12 @@ func (t *DistTrainer) stepBarrier() float32 {
 	// captured locally so stranded ranks keep reading the orphaned
 	// staging after a failure-path reset (see stepOverlap).
 	for i, w := range t.Workers {
+		if fp != nil {
+			// A pack fault here dies on the calling goroutine — before
+			// any collective starts, so no staging is dirtied and the
+			// recovered trainer needs no orphaning.
+			fp.Check(i, step, elastic.PhasePack, -1)
+		}
 		eng.PackFull(i, w.diffs)
 	}
 	views := eng.RankViews()
@@ -568,6 +652,21 @@ func NewCGTrainer(build func() (*core.Net, map[string]*tensor.Tensor, error), so
 
 // Node exposes the underlying simulated node (stats, stream access).
 func (t *CGTrainer) Node() *swnode.Node { return t.node }
+
+// EnableWorkStealing switches the four pass streams from hard pins to
+// soft pins: a pass whose CG carries a strictly worse effective
+// backlog (a degraded CG via Node.SetCGSpeed, or skewed accumulated
+// load) is stolen onto the least-loaded CG instead of queueing behind
+// it. On a balanced healthy node the steal condition never triggers,
+// so placements — and therefore modeled times — are unchanged;
+// numerics are unchanged in every case, since any CG computes the
+// same kernel bits. Call it between Steps (stream order is re-rooted,
+// which is safe only while the node is quiescent).
+func (t *CGTrainer) EnableWorkStealing() {
+	for i := range t.streams {
+		t.streams[i] = t.node.SoftPinnedStream(i)
+	}
+}
 
 // Close stops the node's CPE worker pools. The trainer must not be
 // used after Close.

@@ -2,9 +2,14 @@
 # bench.sh — benchmark regression harness. Runs the key simulator /
 # planner / trainer benchmarks with -benchmem, runs the simulated-time
 # invariance test, and writes the results as JSON (default
-# BENCH_PR5.json) extending the perf trajectory that future PRs are
-# judged against. PR 5 adds the topology-hierarchical DistStep
-# variants (on a q=2 adjacent-mapped network so supernodes are really
+# BENCH_PR6.json) extending the perf trajectory that future PRs are
+# judged against. PR 6 adds the elastic-training costs —
+# CheckpointSave/CheckpointRestore (full trainer state through the
+# versioned on-disk gob) and ShrinkRecovery (the p=8 -> p'=7
+# shrink + restore + first re-planned step after a rank failure) —
+# and must leave every DistStep modeled-us/step bit-compatible: the
+# fault machinery is free when no fault plan is armed. PR 5 added
+# the topology-hierarchical DistStep variants (on a q=2 adjacent-mapped network so supernodes are really
 # crossed at bench scale): barrier, overlap at the fixed default cap,
 # α-β auto-bucketed, and the 2-D plan selector (-alg auto picks the
 # algorithm too). The hierarchical auto variant may legitimately tie
@@ -19,9 +24,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR5.json}"
+OUT="${1:-BENCH_PR6.json}"
 BENCHTIME="${2:-1s}"
-PATTERN='^(BenchmarkSimGEMM64|BenchmarkSimGEMM128|BenchmarkSimGEMMRagged|BenchmarkSimConvExplicit|BenchmarkConvPlanSelection|BenchmarkGEMMPlanWarm|BenchmarkGEMMPlanCold|BenchmarkTable2|BenchmarkSolverUpdate|BenchmarkAllreducePack|BenchmarkAllreduceScale|BenchmarkDistStepBarrier|BenchmarkDistStepOverlap|BenchmarkDistStepBarrierHostMath|BenchmarkDistStepOverlapHostMath|BenchmarkDistStepOverlapFixedDefault|BenchmarkDistStepOverlapAuto|BenchmarkDistStepBarrierRing|BenchmarkDistStepOverlapRingFixedDefault|BenchmarkDistStepOverlapRingAuto|BenchmarkDistStepBarrierHier|BenchmarkDistStepOverlapHierFixedDefault|BenchmarkDistStepOverlapHierAuto|BenchmarkDistStepOverlapAlgAuto|BenchmarkDistStepOverlapTimeline|BenchmarkCGTrainerStep)$'
+PATTERN='^(BenchmarkSimGEMM64|BenchmarkSimGEMM128|BenchmarkSimGEMMRagged|BenchmarkSimConvExplicit|BenchmarkConvPlanSelection|BenchmarkGEMMPlanWarm|BenchmarkGEMMPlanCold|BenchmarkTable2|BenchmarkSolverUpdate|BenchmarkAllreducePack|BenchmarkAllreduceScale|BenchmarkDistStepBarrier|BenchmarkDistStepOverlap|BenchmarkDistStepBarrierHostMath|BenchmarkDistStepOverlapHostMath|BenchmarkDistStepOverlapFixedDefault|BenchmarkDistStepOverlapAuto|BenchmarkDistStepBarrierRing|BenchmarkDistStepOverlapRingFixedDefault|BenchmarkDistStepOverlapRingAuto|BenchmarkDistStepBarrierHier|BenchmarkDistStepOverlapHierFixedDefault|BenchmarkDistStepOverlapHierAuto|BenchmarkDistStepOverlapAlgAuto|BenchmarkDistStepOverlapTimeline|BenchmarkCGTrainerStep|BenchmarkCheckpointSave|BenchmarkCheckpointRestore|BenchmarkShrinkRecovery)$'
 
 echo "== running invariance check (simulated times must match golden) =="
 if go test ./internal/swdnn/ -run 'TestEngineInvariance|TestEngineDeterminism' -count=1 >/dev/null 2>&1; then
@@ -54,7 +59,7 @@ echo "$RAW" | awk -v invariance="$INVARIANCE" -v date="$(date -u +%Y-%m-%dT%H:%M
 }
 END {
     printf "{\n"
-    printf "  \"pr\": 5,\n"
+    printf "  \"pr\": 6,\n"
     printf "  \"date\": \"%s\",\n", date
     printf "  \"invariance\": \"%s\",\n", invariance
     printf "  \"benchmarks\": {\n"
@@ -69,7 +74,7 @@ END {
     }
     printf "  },\n"
     printf "  \"pr4_reference\": {\n"
-    printf "    \"comment\": \"PR-4 numbers live in BENCH_PR4.json; DistStep modeled-us/step must be unchanged (676.8 barrier / 636.7 overlap) — the hierarchical strategy plugs in without touching the flat paths\",\n"
+    printf "    \"comment\": \"PR-4 numbers live in BENCH_PR4.json; DistStep modeled-us/step must be unchanged (676.8 barrier / 636.7 overlap) — the elastic fault machinery (PR 6), like the hierarchical strategy (PR 5), costs nothing on the healthy path\",\n"
     printf "    \"BenchmarkDistStepBarrier\": {\"modeled_us_step\": 676.8, \"exposed_comm_us_step\": 79.4},\n"
     printf "    \"BenchmarkDistStepOverlapAuto\": {\"modeled_us_step\": 636.7, \"exposed_comm_us_step\": 39.3}\n"
     printf "  }\n"
