@@ -23,7 +23,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sw26010/ ./internal/swnode/ ./internal/swdnn/ ./internal/train/ ./internal/collective/ ./internal/allreduce/ ./internal/simnet/ ./internal/elastic/
+	$(GO) test -race ./internal/sw26010/ ./internal/swnode/ ./internal/swdnn/ ./internal/train/ ./internal/collective/ ./internal/allreduce/ ./internal/simnet/ ./internal/elastic/ ./internal/obs/
 
 bench:
 	scripts/bench.sh

@@ -20,6 +20,7 @@ import (
 	"swcaffe/internal/dataset"
 	"swcaffe/internal/elastic"
 	"swcaffe/internal/experiments"
+	"swcaffe/internal/obs"
 	"swcaffe/internal/sw26010"
 	"swcaffe/internal/swdnn"
 	"swcaffe/internal/tensor"
@@ -318,6 +319,9 @@ func benchDistTrainer(b *testing.B, cfg train.DistConfig) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		if benchDistTracer != nil {
+			benchDistTracer.Reset()
+		}
 		d.Step()
 	}
 	b.ReportMetric(d.LastStep.StepTime*1e6, "modeled-us/step")
@@ -403,6 +407,30 @@ func BenchmarkDistStepOverlapAlgAuto(b *testing.B) {
 func BenchmarkDistStepOverlapTimeline(b *testing.B) {
 	benchDistTrainer(b, train.DistConfig{Overlap: true, BucketBytes: 8 << 10, Timeline: true})
 }
+
+// Tracing-cost variants of BenchmarkDistStepOverlap. TracedOff is the
+// observability PR's zero-cost claim: with no tracer configured the
+// trainer must match BenchmarkDistStepOverlap exactly — same allocs/op,
+// same modeled-us/step — because every trace call site is guarded by a
+// nil check. TracedOn attaches a live Tracer (reset per iteration so
+// the span buffer doesn't grow with b.N); it pays host-time and
+// allocations for span capture but must leave the modeled metrics
+// bit-identical: the tracer observes the simulated clock, never
+// perturbs it.
+func BenchmarkDistStepTracedOff(b *testing.B) {
+	benchDistTrainer(b, train.DistConfig{Overlap: true, BucketBytes: 8 << 10})
+}
+
+func BenchmarkDistStepTracedOn(b *testing.B) {
+	tr := obs.New()
+	benchDistTracer = tr
+	defer func() { benchDistTracer = nil }()
+	benchDistTrainer(b, train.DistConfig{Overlap: true, BucketBytes: 8 << 10, Tracer: tr})
+}
+
+// benchDistTracer, when non-nil, is reset between measured steps so
+// TracedOn measures steady-state span capture, not buffer growth.
+var benchDistTracer *obs.Tracer
 
 // BenchmarkCGTrainerStep measures one Algorithm-1 iteration on the
 // four simulated CoreGroups of a swnode.Node (quarter-batch passes +

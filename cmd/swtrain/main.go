@@ -18,7 +18,10 @@ import (
 	"swcaffe/internal/dataset"
 	"swcaffe/internal/elastic"
 	"swcaffe/internal/netdef"
+	"swcaffe/internal/obs"
+	"swcaffe/internal/swdnn"
 	"swcaffe/internal/tensor"
+	"swcaffe/internal/topology"
 	"swcaffe/internal/train"
 )
 
@@ -65,6 +68,10 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 0, "multi-node: checkpoint every N completed iterations (0 = never; an in-memory step-0 checkpoint is still kept whenever -faultplan is set)")
 	resume := flag.String("resume", "", "multi-node: checkpoint file to restore before training (bit-exact: the resumed run continues the saved run's stream)")
 	faultplan := flag.String("faultplan", "", `multi-node: deterministic fault plan "r@s:phase[,...]" — kill rank r at step s during forward | backward | pack | flush | flush-bucket-k; the driver shrinks the world and resumes from the last checkpoint`)
+	traceOut := flag.String("trace", "", "multi-node: write a Chrome/Perfetto trace-event JSON of the run on the simulated clock (pass launches per rank/CG, bucket flushes, hierarchical phases, elastic events) to this file; open it at ui.perfetto.dev")
+	showMetrics := flag.Bool("metrics", false, "multi-node: print the deterministic metrics snapshot (sorted name/value lines) after training")
+	explainPlan := flag.Bool("explain-plan", false, "multi-node: print the collective engine's plan audit — the selector's candidate sweep and the last step's per-bucket priced vs realized costs")
+	qSize := flag.Int("q", 0, "multi-node: override the supernode size q (0 = TaihuLight's 256); a small q makes small runs cross supernode links, e.g. -q 4 -nodes 8 -alg hier")
 	flag.Parse()
 
 	// Validate -alg up front: an unknown name lists the registry
@@ -78,8 +85,9 @@ func main() {
 	}
 
 	elasticUsed := *checkpointDir != "" || *checkpointEvery > 0 || *resume != "" || *faultplan != ""
-	if elasticUsed && (*cg4 || *nodes == 1) {
-		fmt.Fprintln(os.Stderr, "swtrain: -checkpoint-dir/-checkpoint-every/-resume/-faultplan are multi-node flags")
+	obsUsed := *traceOut != "" || *showMetrics || *explainPlan || *qSize > 0
+	if (elasticUsed || obsUsed) && (*cg4 || *nodes == 1) {
+		fmt.Fprintln(os.Stderr, "swtrain: -checkpoint-dir/-checkpoint-every/-resume/-faultplan/-trace/-metrics/-explain-plan/-q are multi-node flags")
 		os.Exit(2)
 	}
 	var faults *elastic.FaultPlan
@@ -176,11 +184,21 @@ func main() {
 		return
 	}
 
+	var network *topology.Network
+	if *qSize > 0 {
+		network = topology.Sunway()
+		network.SupernodeSize = *qSize
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.New()
+	}
+
 	trainer, err := train.NewDistTrainer(train.DistConfig{
 		Nodes: *nodes, SubBatch: *batch, Solver: solverCfg,
 		Overlap: *overlap, BucketBytes: *bucketKB << 10, AutoBucket: *autoBucket,
 		AlgorithmName: *alg, HostMath: *hostMath, Timeline: *timeline,
-		Faults: faults,
+		Network: network, Faults: faults, Tracer: tracer,
 	}, build)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -250,7 +268,9 @@ func main() {
 			}
 		}
 		if it%20 == 0 || it == *iters-1 {
-			fmt.Printf("iter %4d  loss %.4f  (simulated comm so far %.4fs)\n", it, loss, trainer.CommTime)
+			st := trainer.LastStep
+			fmt.Printf("iter %4d  loss %.4f  (simulated comm so far %.4fs; step census %d msgs, %d cross-supernode, %d B across)\n",
+				it, loss, trainer.CommTime, st.Msgs, st.CrossMsgs, st.CrossBytes)
 		}
 	}
 	if d := trainer.ParamsDiverged(); d > 1e-6 {
@@ -281,6 +301,33 @@ func main() {
 	if !*hostMath {
 		fmt.Printf("cluster runtime: %d simulated nodes, modeled compute %.4fs, node-timeline frontier %.4fs, %d launches on rank 0\n",
 			len(trainer.Workers), trainer.ComputeTime, trainer.Node(0).SimTime(), trainer.Node(0).Launches())
+	}
+	if *explainPlan {
+		fmt.Println()
+		if err := trainer.ExplainPlan(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "swtrain:", err)
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		if err := tracer.WriteFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "swtrain:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d events written to %s (open at ui.perfetto.dev)\n", tracer.Len(), *traceOut)
+	}
+	if *showMetrics {
+		reg := obs.Default()
+		// Pull-style bridges for values owned outside the registry.
+		reg.GaugeFunc("plan_cache.hits", func() float64 { h, _ := swdnn.PlanCacheCounters(); return float64(h) })
+		reg.GaugeFunc("plan_cache.misses", func() float64 { _, m := swdnn.PlanCacheCounters(); return float64(m) })
+		reg.Gauge("swnode.launches").Set(float64(trainer.Launches()))
+		fmt.Println()
+		fmt.Println("metrics:")
+		if err := reg.Write(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "swtrain:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -6,9 +6,15 @@ import (
 	"sync/atomic"
 
 	"swcaffe/internal/allreduce"
+	"swcaffe/internal/obs"
 	"swcaffe/internal/simnet"
 	"swcaffe/internal/topology"
 )
+
+// CommLane is the trace thread id (within a rank's process track) that
+// carries communication-phase spans — distinct from tids 0..3, which
+// are the rank's CoreGroup lanes.
+const CommLane = 8
 
 // DefaultBucketBytes is the fixed bucket cap used when neither an
 // explicit cap nor auto-selection is configured: large enough to
@@ -130,6 +136,55 @@ type Engine struct {
 	reduced     [][][]float32 // [bucket][rank] reduced outputs
 	reducedFull [][]float32   // [rank] barrier (full-flush) outputs
 	commTimes   []float64     // per-bucket collective makespans
+
+	// Attribution: the selector's priced cost per bucket (fixed at
+	// New) and the realized per-bucket stats of the last committed
+	// step, filled by Commit/CommitFull and finalized by
+	// Compose/ComposeFull. candidates is the full per-algorithm sweep
+	// behind an auto plan, kept for explain-plan reports.
+	prices     []float64
+	fullPrice  float64
+	stats      []BucketStat
+	fullStat   BucketStat
+	candidates []Plan
+
+	bytesMetric *obs.Counter // comm.bytes.<algorithm>, cached to keep Commit allocation-free
+
+	// Tracing (nil tracer = disabled, the hot-path default). traceBase
+	// anchors this step's flush windows on the cumulative trace
+	// timeline; hierNow/hierClks/clockSnaps capture the hierarchical
+	// schedule's internal phase clocks per rank per flush.
+	tracer       *obs.Tracer
+	tracePid     int
+	traceBase    float64
+	hierNow      [][3]float64   // per-rank phase-entry clocks of the flush in flight
+	hierClks     [][][3]float64 // [bucket][rank] snapshot at Commit
+	hierFull     [][3]float64   // barrier-flush snapshot
+	clockSnaps   [][]float64    // [bucket][rank] finishing clocks at Commit
+	clockFull    []float64
+	prevHierHook func(n *simnet.Node, phase allreduce.HierPhase)
+}
+
+// BucketStat is the per-bucket attribution of one committed step: the
+// bucket's layout position and algorithm, when it became ready
+// (producer backward done), the modeled flush window Compose chained
+// it into, the selector's priced α-β cost next to the realized
+// collective makespan, this bucket's contribution to the step's
+// exposed communication, and the simnet traffic census of its
+// collective.
+type BucketStat struct {
+	Index     int
+	Lo, Hi    int
+	Bytes     int
+	Algorithm string
+
+	ReadyAt    float64 // producer layer's backward completion
+	Start, End float64 // modeled flush window within the step
+	Comm       float64 // realized collective makespan
+	Priced     float64 // selector's cost-model estimate for this bucket
+	Exposed    float64 // contribution to the step's exposed comm
+
+	Msgs, CrossMsgs, CrossBytes int64
 }
 
 // New builds an engine. The configuration must be complete: parameter
@@ -166,12 +221,16 @@ func New(cfg Config) (*Engine, error) {
 
 	if allreduce.Canonical(cfg.AlgorithmName) == NameAuto && cfg.Algorithm == nil {
 		// 2-D selection: the plan picks the (algorithm, bucket cap)
-		// pair minimizing the modeled exposed communication.
-		plan, err := SelectPlan(cfg.Network, cfg.Mapping, cfg.Ranks, cfg.ReduceOnCPE,
+		// pair minimizing the modeled exposed communication. The full
+		// per-algorithm sweep is kept so the decision stays auditable
+		// (Candidates, swtrain -explain-plan).
+		cands, err := PlanCandidates(cfg.Network, cfg.Mapping, cfg.Ranks, cfg.ReduceOnCPE,
 			cfg.Params, cfg.Layers, cfg.LayerDone, cfg.ComputeEnd)
 		if err != nil {
 			return nil, err
 		}
+		e.candidates = cands
+		plan := bestPlan(cands)
 		e.plan = &plan
 		e.strat, err = StrategyFor(plan.Algorithm, nil, cfg.Mapping)
 		if err != nil {
@@ -193,6 +252,16 @@ func New(cfg Config) (*Engine, error) {
 		}
 	}
 	e.buckets = layoutBuckets(e.strat, cfg.Params, e.offs, e.total, cfg.Ranks, e.bucketBytes, cfg.Layers)
+
+	e.prices = make([]float64, len(e.buckets))
+	for b, bk := range e.buckets {
+		e.prices[b] = e.strat.Cost(cfg.Network, cfg.Ranks, bk.Lo, bk.Hi, e.total, cfg.ReduceOnCPE).Total()
+	}
+	if e.total > 0 {
+		e.fullPrice = e.strat.Cost(cfg.Network, cfg.Ranks, 0, e.total, e.total, cfg.ReduceOnCPE).Total()
+	}
+	e.stats = make([]BucketStat, len(e.buckets))
+	e.bytesMetric = obs.Default().Counter("comm.bytes." + e.strat.Name())
 
 	nb, nw := len(e.buckets), cfg.Ranks
 	e.ready = make([]chan struct{}, nb)
@@ -238,6 +307,16 @@ func (e *Engine) AutoExposed() float64 { return e.autoExposed }
 // Plan returns the 2-D selector's decision, or nil when the algorithm
 // was fixed by configuration rather than chosen by SelectPlan.
 func (e *Engine) Plan() *Plan { return e.plan }
+
+// Candidates returns the selector's full per-algorithm sweep behind an
+// auto plan — one best-cap entry per AutoAlgorithms candidate, in
+// sweep order — or nil when the algorithm was fixed by configuration.
+// This is the audit trail swtrain -explain-plan prints.
+func (e *Engine) Candidates() []Plan { return e.candidates }
+
+// PricedBucket returns the selector's α-β cost estimate for bucket b
+// of the active layout.
+func (e *Engine) PricedBucket(b int) float64 { return e.prices[b] }
 
 // StrategyName names the active bucketing strategy.
 func (e *Engine) StrategyName() string { return e.strat.Name() }
@@ -329,16 +408,45 @@ func (e *Engine) PackFull(rank int, diffs [][]float32) {
 	}
 }
 
-// Commit stores bucket b's per-rank reduced outputs and its simulated
-// makespan into the reused staging. Call only on the clean path: a
-// failed run's outputs must stay in the run's private storage.
-func (e *Engine) Commit(b int, outs [][]float32, commTime float64) {
+// Commit stores bucket b's per-rank reduced outputs, its simulated
+// makespan, and its traffic census into the reused staging. Call only
+// on the clean path: a failed run's outputs must stay in the run's
+// private storage.
+func (e *Engine) Commit(b int, outs [][]float32, res simnet.Result) {
 	copy(e.reduced[b], outs)
-	e.commTimes[b] = commTime
+	e.commTimes[b] = res.Time
+	bk := e.buckets[b]
+	st := &e.stats[b]
+	st.Index, st.Lo, st.Hi = b, bk.Lo, bk.Hi
+	st.Bytes = bk.Elems() * 4
+	st.Algorithm = e.strat.Name()
+	st.Comm = res.Time
+	st.Priced = e.prices[b]
+	st.Msgs, st.CrossMsgs, st.CrossBytes = res.Msgs, res.CrossMsgs, res.CrossBytes
+	e.bytesMetric.Add(int64(st.Bytes))
+	if e.tracer != nil && e.hierClks != nil {
+		copy(e.hierClks[b], e.hierNow)
+		e.clockSnaps[b] = append(e.clockSnaps[b][:0], res.Clocks...)
+	}
 }
 
-// CommitFull stores the barrier flush's per-rank outputs.
-func (e *Engine) CommitFull(outs [][]float32) { copy(e.reducedFull, outs) }
+// CommitFull stores the barrier flush's per-rank outputs, makespan and
+// census.
+func (e *Engine) CommitFull(outs [][]float32, res simnet.Result) {
+	copy(e.reducedFull, outs)
+	st := &e.fullStat
+	st.Index, st.Lo, st.Hi = 0, 0, e.total
+	st.Bytes = e.total * 4
+	st.Algorithm = e.strat.Name()
+	st.Comm = res.Time
+	st.Priced = e.fullPrice
+	st.Msgs, st.CrossMsgs, st.CrossBytes = res.Msgs, res.CrossMsgs, res.CrossBytes
+	e.bytesMetric.Add(int64(st.Bytes))
+	if e.tracer != nil && e.hierNow != nil {
+		e.hierFull = append(e.hierFull[:0], e.hierNow...)
+		e.clockFull = append(e.clockFull[:0], res.Clocks...)
+	}
+}
 
 // Unpack averages every committed bucket (1/Ranks) and scatters it
 // back into one rank's parameter gradients.
@@ -382,6 +490,14 @@ func (e *Engine) scatter(vec []float32, lo, hi int, diffs [][]float32) {
 // node's clock stood when the bucket was flushed) and returns the
 // summed communication plus the modeled step time given the measured
 // compute makespan. Exposed communication is stepTime - compute.
+//
+// As a side effect Compose finalizes the per-bucket attribution of
+// LastBuckets — each bucket's flush window [Start, End] and its
+// exposed contribution max(0, End_b - max(compute, End_{b-1})), which
+// telescopes to the step's total exposed time since bucket ends are
+// monotone — and, when a tracer is attached, emits the step's flush
+// and hierarchical-phase spans. Attribution observes the same
+// arithmetic the return values use; it never changes it.
 func (e *Engine) Compose(compute float64) (commSum, stepTime float64) {
 	var commEnd float64
 	for b, bk := range e.buckets {
@@ -389,15 +505,155 @@ func (e *Engine) Compose(compute float64) (commSum, stepTime float64) {
 		if commEnd > start {
 			start = commEnd
 		}
+		st := &e.stats[b]
+		st.ReadyAt = e.cfg.LayerDone[bk.ReadyLayer]
+		st.Start = start
+		floor := compute
+		if commEnd > floor {
+			floor = commEnd
+		}
 		commEnd = start + e.commTimes[b]
 		commSum += e.commTimes[b]
+		st.End = commEnd
+		if exp := commEnd - floor; exp > 0 {
+			st.Exposed = exp
+		} else {
+			st.Exposed = 0
+		}
 	}
 	stepTime = compute
 	if commEnd > stepTime {
 		stepTime = commEnd
 	}
+	if e.tracer != nil {
+		e.emitFlushSpans(e.stats, e.hierClks, e.clockSnaps)
+	}
 	return commSum, stepTime
 }
+
+// ComposeFull finalizes the barrier flush's attribution: the single
+// full-vector collective starts at the compute barrier and is exposed
+// in full. Call after CommitFull; no-op arithmetic (the trainer's
+// compute + res.Time composition stays where it is).
+func (e *Engine) ComposeFull(compute float64) {
+	st := &e.fullStat
+	st.ReadyAt = compute
+	st.Start = compute
+	st.End = compute + st.Comm
+	st.Exposed = st.Comm
+	if e.tracer != nil {
+		full := []BucketStat{e.fullStat}
+		var hier [][][3]float64
+		var clocks [][]float64
+		if e.hierNow != nil {
+			hier = [][][3]float64{e.hierFull}
+			clocks = [][]float64{e.clockFull}
+		}
+		e.emitFlushSpans(full, hier, clocks)
+	}
+}
+
+// LastBuckets returns the per-bucket attribution of the last composed
+// overlapped step, in flush order. The slice is reused across steps —
+// callers keeping it must copy.
+func (e *Engine) LastBuckets() []BucketStat { return e.stats }
+
+// FullStat returns the attribution of the last committed barrier
+// flush.
+func (e *Engine) FullStat() BucketStat { return e.fullStat }
+
+// emitFlushSpans draws one span per committed flush on the engine's
+// cluster track (pid = tracePid, tid 0), carrying the bucket's layout,
+// priced vs. realized cost and traffic census as attrs — and, for the
+// hierarchical schedule, the three internal phase spans per rank on
+// each rank's CommLane, placed from the phase-entry clocks the hook
+// captured (collective-relative, so they anchor at the flush start).
+func (e *Engine) emitFlushSpans(stats []BucketStat, hier [][][3]float64, clocks [][]float64) {
+	base := e.traceBase
+	for i := range stats {
+		st := &stats[i]
+		e.tracer.Span(e.tracePid, 0, fmt.Sprintf("flush[%d] %s", st.Index, st.Algorithm),
+			base+st.Start, base+st.End,
+			obs.Str("algorithm", st.Algorithm),
+			obs.I64("lo", int64(st.Lo)), obs.I64("hi", int64(st.Hi)),
+			obs.I64("bytes", int64(st.Bytes)),
+			obs.F64("priced_us", st.Priced*1e6),
+			obs.F64("comm_us", st.Comm*1e6),
+			obs.F64("exposed_us", st.Exposed*1e6),
+			obs.I64("msgs", st.Msgs),
+			obs.I64("cross_msgs", st.CrossMsgs),
+			obs.I64("cross_bytes", st.CrossBytes))
+		if hier == nil || i >= len(hier) || hier[i] == nil {
+			continue
+		}
+		s := base + st.Start
+		for r, c := range hier[i] {
+			if r >= len(clocks[i]) {
+				break
+			}
+			end := clocks[i][r]
+			e.tracer.Span(r, CommLane, "hier:intra-rs", s+c[0], s+c[1])
+			e.tracer.Span(r, CommLane, "hier:leader-rhd", s+c[1], s+c[2])
+			e.tracer.Span(r, CommLane, "hier:allgather", s+c[2], s+end)
+		}
+	}
+}
+
+// SetTrace attaches a tracer to the engine: Compose/ComposeFull emit
+// one flush span per committed collective on the (pid, 0) cluster
+// track, and — when the active strategy is the hierarchical schedule —
+// the engine installs the allreduce hierarchical phase hook to capture
+// each rank's intra-RS / leader-RHD / allgather boundary clocks,
+// drawn as per-rank phase spans on CommLane. The previous phase hook
+// is chained (fault injection keeps working under tracing) and
+// restored by SetTrace(nil, 0). The hook is process-global, as PR 6
+// defined it: trace one hierarchical engine at a time.
+func (e *Engine) SetTrace(tr *obs.Tracer, pid int) {
+	if tr == nil {
+		if e.hierNow != nil {
+			allreduce.SetHierPhaseHook(e.prevHierHook)
+			e.prevHierHook = nil
+			e.hierNow, e.hierClks, e.clockSnaps = nil, nil, nil
+			e.hierFull, e.clockFull = nil, nil
+		}
+		e.tracer = nil
+		return
+	}
+	e.tracer, e.tracePid = tr, pid
+	tr.NameProcess(pid, "collectives")
+	tr.NameThread(pid, 0, "bucket flushes")
+	for r := 0; r < e.cfg.Ranks; r++ {
+		tr.NameThread(r, CommLane, "comm")
+	}
+	if e.strat.Name() == allreduce.NameHierarchical {
+		e.hierNow = make([][3]float64, e.cfg.Ranks)
+		e.hierClks = make([][][3]float64, len(e.buckets))
+		e.clockSnaps = make([][]float64, len(e.buckets))
+		for b := range e.hierClks {
+			e.hierClks[b] = make([][3]float64, e.cfg.Ranks)
+		}
+		e.prevHierHook = allreduce.SetHierPhaseHook(func(n *simnet.Node, phase allreduce.HierPhase) {
+			if n.Rank < len(e.hierNow) {
+				switch phase {
+				case allreduce.HierIntraReduceScatter:
+					e.hierNow[n.Rank][0] = n.Clock()
+				case allreduce.HierLeaderRHD:
+					e.hierNow[n.Rank][1] = n.Clock()
+				case allreduce.HierAllgather:
+					e.hierNow[n.Rank][2] = n.Clock()
+				}
+			}
+			if e.prevHierHook != nil {
+				e.prevHierHook(n, phase)
+			}
+		})
+	}
+}
+
+// SetTraceBase anchors the next composed step's flush spans at t on
+// the cumulative trace timeline (the trainer passes its running
+// compute frontier).
+func (e *Engine) SetTraceBase(t float64) { e.traceBase = t }
 
 // ResetStaging re-allocates every buffer a rank goroutine stranded by
 // a failed collective might still read or write — the per-rank packed
@@ -507,18 +763,41 @@ type Plan struct {
 // parallelism — so it is GOMAXPROCS-deterministic.
 func SelectPlan(netw *topology.Network, mapping topology.Mapping, p int, onCPE bool,
 	params []ParamInfo, layers int, layerDone []float64, computeEnd float64) (Plan, error) {
-	var best Plan
-	for i, name := range AutoAlgorithms {
+	cands, err := PlanCandidates(netw, mapping, p, onCPE, params, layers, layerDone, computeEnd)
+	if err != nil {
+		return Plan{}, err
+	}
+	return bestPlan(cands), nil
+}
+
+// PlanCandidates runs the auto-bucket sweep for every AutoAlgorithms
+// entry and returns the per-algorithm winners in sweep order — the
+// full decision surface SelectPlan minimizes over, exposed so the
+// choice is auditable (Engine.Candidates, swtrain -explain-plan).
+func PlanCandidates(netw *topology.Network, mapping topology.Mapping, p int, onCPE bool,
+	params []ParamInfo, layers int, layerDone []float64, computeEnd float64) ([]Plan, error) {
+	cands := make([]Plan, 0, len(AutoAlgorithms))
+	for _, name := range AutoAlgorithms {
 		strat, err := StrategyFor(name, nil, mapping)
 		if err != nil {
-			return Plan{}, err
+			return nil, err
 		}
 		bytes, exposed := SelectBucketBytes(strat, netw, p, onCPE, params, layers, layerDone, computeEnd)
-		if i == 0 || exposed < best.Exposed {
-			best = Plan{Algorithm: name, BucketBytes: bytes, Exposed: exposed}
+		cands = append(cands, Plan{Algorithm: name, BucketBytes: bytes, Exposed: exposed})
+	}
+	return cands, nil
+}
+
+// bestPlan picks the candidate minimizing the exposed estimate, exact
+// ties going to the earlier entry (SelectPlan's documented tie-break).
+func bestPlan(cands []Plan) Plan {
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.Exposed < best.Exposed {
+			best = c
 		}
 	}
-	return best, nil
+	return best
 }
 
 // SelectBucketBytes is the auto-bucket selector: it sweeps candidate

@@ -5,7 +5,13 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"swcaffe/internal/obs"
 )
+
+// metFaults counts faults the plan actually injected — the
+// elastic.faults_injected metric of swtrain -metrics.
+var metFaults = obs.Default().Counter("elastic.faults_injected")
 
 // Deterministic fault injection. A FaultPlan names exactly where a
 // rank dies — "rank r, step s, phase p" — and the trainer threads
@@ -171,6 +177,7 @@ func (p *FaultPlan) Check(rank, step int, phase Phase, bucket int) {
 		f.fired = true
 		inj := Injected{Rank: rank, Step: step, Phase: phase, Bucket: f.Bucket}
 		p.mu.Unlock()
+		metFaults.Inc()
 		panic(inj)
 	}
 	p.mu.Unlock()

@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named counters, gauges and histograms and produces
+// deterministic snapshots: metrics print sorted by name, so two runs
+// with the same workload emit byte-identical `swtrain -metrics`
+// blocks. Instruments are cheap (atomics) and creation is idempotent —
+// asking for an existing name returns the same instrument.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	fcnts  map[string]*FloatCounter
+	gauges map[string]*Gauge
+	gfuncs map[string]func() float64
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		fcnts:  make(map[string]*FloatCounter),
+		gauges: make(map[string]*Gauge),
+		gfuncs: make(map[string]func() float64),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry the simulator's packages
+// instrument into.
+func Default() *Registry { return defaultRegistry }
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+func (c *Counter) Inc()        { c.v.Add(1) }
+func (c *Counter) Value() int64 {
+	return c.v.Load()
+}
+
+// FloatCounter accumulates a float64 sum (e.g. exposed-comm µs).
+type FloatCounter struct {
+	mu sync.Mutex
+	v  float64
+}
+
+func (c *FloatCounter) Add(x float64) {
+	c.mu.Lock()
+	c.v += x
+	c.mu.Unlock()
+}
+func (c *FloatCounter) Value() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a set-to-latest float metric.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+func (g *Gauge) Set(x float64) {
+	g.mu.Lock()
+	g.v = x
+	g.mu.Unlock()
+}
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram accumulates value observations, reporting count/sum/
+// min/max/mean. It keeps moments, not buckets — enough to summarize a
+// modeled distribution deterministically without config.
+type Histogram struct {
+	mu       sync.Mutex
+	count    int64
+	sum      float64
+	min, max float64
+}
+
+func (h *Histogram) Observe(x float64) {
+	h.mu.Lock()
+	if h.count == 0 || x < h.min {
+		h.min = x
+	}
+	if h.count == 0 || x > h.max {
+		h.max = x
+	}
+	h.count++
+	h.sum += x
+	h.mu.Unlock()
+}
+
+// Stats returns (count, sum, min, max). min/max are NaN when empty.
+func (h *Histogram) Stats() (count int64, sum, min, max float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0, 0, math.NaN(), math.NaN()
+	}
+	return h.count, h.sum, h.min, h.max
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// FloatCounter returns (creating if needed) the named float counter.
+func (r *Registry) FloatCounter(name string) *FloatCounter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.fcnts[name]
+	if !ok {
+		c = &FloatCounter{}
+		r.fcnts[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a pull-style gauge evaluated at snapshot time —
+// the bridge for values owned elsewhere (plan-cache hit counters).
+// Re-registering a name replaces the function.
+func (r *Registry) GaugeFunc(name string, f func() float64) {
+	r.mu.Lock()
+	r.gfuncs[name] = f
+	r.mu.Unlock()
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Reset drops every instrument and registered gauge func. Tests and
+// fresh swtrain runs use it to start from a clean registry.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	r.counts = make(map[string]*Counter)
+	r.fcnts = make(map[string]*FloatCounter)
+	r.gauges = make(map[string]*Gauge)
+	r.gfuncs = make(map[string]func() float64)
+	r.hists = make(map[string]*Histogram)
+	r.mu.Unlock()
+}
+
+// Sample is one snapshotted metric line.
+type Sample struct {
+	Name  string
+	Value string // pre-formatted, deterministic
+}
+
+// Snapshot returns every instrument's current value sorted by name.
+// Integer counters print as integers; floats with %g (shortest exact
+// round-trip); histograms as count/sum/min/max/mean.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	out := make([]Sample, 0, len(r.counts)+len(r.fcnts)+len(r.gauges)+len(r.gfuncs)+len(r.hists))
+	for name, c := range r.counts {
+		out = append(out, Sample{Name: name, Value: fmt.Sprintf("%d", c.Value())})
+	}
+	for name, c := range r.fcnts {
+		out = append(out, Sample{Name: name, Value: fmt.Sprintf("%g", c.Value())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Sample{Name: name, Value: fmt.Sprintf("%g", g.Value())})
+	}
+	for name, f := range r.gfuncs {
+		out = append(out, Sample{Name: name, Value: fmt.Sprintf("%g", f())})
+	}
+	for name, h := range r.hists {
+		count, sum, min, max := h.Stats()
+		if count == 0 {
+			out = append(out, Sample{Name: name, Value: "count=0"})
+		} else {
+			out = append(out, Sample{Name: name, Value: fmt.Sprintf(
+				"count=%d sum=%g min=%g max=%g mean=%g", count, sum, min, max, sum/float64(count))})
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Write prints the snapshot as "name value" lines, one per metric,
+// sorted by name.
+func (r *Registry) Write(w io.Writer) error {
+	for _, s := range r.Snapshot() {
+		if _, err := fmt.Fprintf(w, "%s %s\n", s.Name, s.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

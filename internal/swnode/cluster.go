@@ -3,6 +3,7 @@ package swnode
 import (
 	"fmt"
 
+	"swcaffe/internal/obs"
 	"swcaffe/internal/sw26010"
 )
 
@@ -66,6 +67,23 @@ func (c *Cluster) Size() int { return len(c.nodes) }
 
 // Node returns node i (0..Size-1).
 func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// SetTracer attaches tr to every node, using each node's rank as its
+// trace process track. nil detaches.
+func (c *Cluster) SetTracer(tr *obs.Tracer) {
+	for i, n := range c.nodes {
+		n.SetTracer(tr, i)
+	}
+}
+
+// Launches sums the launches submitted across all nodes so far.
+func (c *Cluster) Launches() int {
+	var total int
+	for _, n := range c.nodes {
+		total += n.Launches()
+	}
+	return total
+}
 
 // Sync joins every node's outstanding launches. If any node recorded a
 // kernel panic, Sync re-raises the first one — but only after every

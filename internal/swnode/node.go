@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sync"
 
+	"swcaffe/internal/obs"
 	"swcaffe/internal/sw26010"
 )
 
@@ -46,6 +47,8 @@ type Node struct {
 	launches int
 	firstErr any
 	closed   bool
+	tracer   *obs.Tracer // nil = tracing disabled (the hot-path default)
+	tracePid int         // trace track (rank) for this node's launch spans
 
 	pending sync.WaitGroup
 }
@@ -186,6 +189,28 @@ func (n *Node) placeSoft(pref int, weight float64) int {
 		return best
 	}
 	return pref
+}
+
+// SetTracer attaches an obs.Tracer to the node: every subsequent
+// launch that completes without failing emits one span on (pid, CG)
+// covering its modeled [SimStart, SimEnd] window. pid is the trace
+// process track — a cluster passes the node's rank. A nil tracer
+// detaches (the default), and detached launches pay only a nil check:
+// the tracer pointer is copied into the Event under the launch locks,
+// so enabling or disabling mid-run is race-free and affects only
+// launches submitted afterwards. Tracing never touches the modeled
+// clocks — spans are read from the DAG after the fact.
+func (n *Node) SetTracer(tr *obs.Tracer, pid int) {
+	n.mu.Lock()
+	n.tracer = tr
+	n.tracePid = pid
+	n.mu.Unlock()
+	if tr != nil {
+		tr.NameProcess(pid, fmt.Sprintf("rank %d", pid))
+		for cg := 0; cg < sw26010.CoreGroups; cg++ {
+			tr.NameThread(pid, cg, fmt.Sprintf("CG%d", cg))
+		}
+	}
 }
 
 // Launches returns the number of launches submitted so far.

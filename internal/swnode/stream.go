@@ -3,6 +3,7 @@ package swnode
 import (
 	"sync"
 
+	"swcaffe/internal/obs"
 	"swcaffe/internal/sw26010"
 )
 
@@ -17,8 +18,18 @@ type Stream struct {
 	pin  int  // CoreGroup index, or Unpinned
 	soft bool // pin is a preference the scheduler may steal from
 
-	mu   sync.Mutex
-	tail *Event
+	mu    sync.Mutex
+	tail  *Event
+	label string // span name for traced launches (default "launch")
+}
+
+// SetLabel names the spans of launches submitted to this stream from
+// now on (e.g. "fwd", "bwd", "pass"). Only read when the node has a
+// tracer attached.
+func (s *Stream) SetLabel(name string) {
+	s.mu.Lock()
+	s.label = name
+	s.mu.Unlock()
 }
 
 // Event is the completion handle of one launch. It resolves when the
@@ -34,6 +45,12 @@ type Event struct {
 	simStart float64 // modeled start: max SimEnd over the waited-on events
 	simEnd   float64 // simStart + simTime
 	err      any     // recovered kernel panic, re-raised by Wait/Sync
+
+	// Tracing state, copied from the node under the launch locks so
+	// run() needs no lock to read it. nil tracer = disabled.
+	tracer   *obs.Tracer
+	tracePid int
+	label    string
 }
 
 // CGIndex reports which CoreGroup the launch was placed on (decided
@@ -125,6 +142,12 @@ func (s *Stream) launch(weight float64, exec func(e *Event) float64, deps []*Eve
 	n.load[cg] += weight
 	n.launches++
 	e := &Event{node: n, cg: cg, speed: n.speed[cg], done: make(chan struct{})}
+	if n.tracer != nil {
+		e.tracer, e.tracePid, e.label = n.tracer, n.tracePid, s.label
+		if e.label == "" {
+			e.label = "launch"
+		}
+	}
 	cgPrev := n.lastOnCG[cg]
 	n.lastOnCG[cg] = e
 	n.pending.Add(1)
@@ -219,10 +242,12 @@ func (e *Event) run(exec func(e *Event) float64, cgPrev *Event, waits []*Event) 
 	t := exec(e)
 	if e.speed != 1 {
 		// A degraded CG (SetCGSpeed) stretches the kernel's modeled
-		// duration; the healthy case skips the divide so speeds change
-		// no bits for nodes that never declare one.
+		// duration; the healthy case stays bit-exact.
 		t /= e.speed
 	}
 	e.simTime = t
 	e.simEnd = start + t
+	if e.tracer != nil {
+		e.tracer.Span(e.tracePid, e.cg, e.label, e.simStart, e.simEnd)
+	}
 }

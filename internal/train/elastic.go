@@ -7,9 +7,24 @@ import (
 	"swcaffe/internal/core"
 	"swcaffe/internal/dataset"
 	"swcaffe/internal/elastic"
+	"swcaffe/internal/obs"
 	"swcaffe/internal/simnet"
 	"swcaffe/internal/tensor"
 )
+
+// traceInstant marks an elastic lifecycle event (checkpoint, restore,
+// shrink, fault) on the cluster-level event lane at the current trace
+// anchor. No-op without a configured tracer.
+func (t *DistTrainer) traceInstant(name string, attrs ...obs.Attr) {
+	tr := t.cfg.Tracer
+	if tr == nil {
+		return
+	}
+	pid := len(t.Workers)
+	tr.NameProcess(pid, "collectives")
+	tr.NameThread(pid, 1, "events")
+	tr.Instant(pid, 1, name, t.traceTime, attrs...)
+}
 
 // Elastic fault tolerance (paper-scale robustness: at p = 1024 a
 // node failure is the expected case). The protocol is
@@ -65,6 +80,7 @@ func (t *DistTrainer) Checkpoint() *elastic.State {
 			st.History = append(st.History, blobOf("history/"+p.Name, h))
 		}
 	}
+	t.traceInstant("checkpoint", obs.I64("step", int64(t.iter)), obs.I64("world", int64(len(t.Workers))))
 	return st
 }
 
@@ -112,6 +128,7 @@ func (t *DistTrainer) Restore(st *elastic.State) error {
 		t.sampler = elastic.RestoreRNG(st.RNGSeed, st.RNGDraws)
 	}
 	t.iter = st.Step
+	t.traceInstant("restore", obs.I64("step", int64(st.Step)), obs.I64("ckpt_world", int64(st.World)))
 	return nil
 }
 
@@ -197,6 +214,7 @@ func (t *DistTrainer) Shrink(failed ...int) error {
 	t.engine = nil
 	t.commDirty = false
 	t.losses = make([]float32, len(survivors))
+	t.traceInstant("shrink", obs.I64("world", int64(len(survivors))), obs.I64("failed", int64(len(failed))))
 	return nil
 }
 

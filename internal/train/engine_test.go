@@ -151,7 +151,7 @@ func TestTimelineClusterBitIdenticalToHostMath(t *testing.T) {
 			if ls, lh := sim.Step(), host.Step(); ls != lh {
 				t.Fatalf("overlap=%v iter %d: loss %v != host-math %v", overlap, it, ls, lh)
 			}
-			if sim.LastStep != host.LastStep {
+			if !sim.LastStep.Equal(host.LastStep) {
 				t.Fatalf("overlap=%v iter %d: StepStats %+v != host-math %+v", overlap, it, sim.LastStep, host.LastStep)
 			}
 		}

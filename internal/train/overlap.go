@@ -89,6 +89,12 @@ func (t *DistTrainer) ensureEngine() {
 		// left is a programming error.
 		panic(err)
 	}
+	if t.cfg.Tracer != nil {
+		// The cluster-level flush track sits one pid past the rank
+		// tracks; a rebuilt engine (shrink re-selects the plan) re-wires
+		// the same tracer for the new shape.
+		eng.SetTrace(t.cfg.Tracer, len(t.Workers))
+	}
 	t.engine = eng
 }
 
@@ -152,7 +158,7 @@ func (t *DistTrainer) stepOverlap() float32 {
 			res, outs := t.cluster.RunGather(func(n *simnet.Node) []float32 {
 				return eng.ReduceSeg(n, b, views[n.Rank])
 			})
-			eng.Commit(b, outs, res.Time)
+			eng.Commit(b, outs, res)
 		}
 		return nil
 	}()
@@ -185,17 +191,34 @@ func (t *DistTrainer) stepOverlap() float32 {
 
 	// Modeled timeline: the engine chains the bucket collectives
 	// behind their production times on the node timelines; exposed
-	// communication is whatever outlives backward.
+	// communication is whatever outlives backward. Compose also
+	// finalizes the per-bucket attribution (and emits the step's flush
+	// spans when traced) — observation only, same arithmetic.
+	if t.cfg.Tracer != nil {
+		eng.SetTraceBase(t.traceTime)
+	}
 	commSum, stepTime := eng.Compose(compute)
+	t.bucketScratch = append(t.bucketScratch[:0], eng.LastBuckets()...)
+	var msgs, xMsgs, xBytes int64
+	for i := range t.bucketScratch {
+		msgs += t.bucketScratch[i].Msgs
+		xMsgs += t.bucketScratch[i].CrossMsgs
+		xBytes += t.bucketScratch[i].CrossBytes
+	}
 	t.LastStep = StepStats{
-		Compute:  compute,
-		Comm:     commSum,
-		Exposed:  stepTime - compute,
-		StepTime: stepTime,
+		Compute:    compute,
+		Comm:       commSum,
+		Exposed:    stepTime - compute,
+		StepTime:   stepTime,
+		Msgs:       msgs,
+		CrossMsgs:  xMsgs,
+		CrossBytes: xBytes,
+		Buckets:    t.bucketScratch,
 	}
 	t.ComputeTime += compute
 	t.CommTime += commSum
 	t.ExposedCommTime += t.LastStep.Exposed
+	t.recordStep()
 
 	var mean float32
 	for _, l := range losses {

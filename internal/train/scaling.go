@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"swcaffe/internal/allreduce"
+	"swcaffe/internal/collective"
 	"swcaffe/internal/core"
 	"swcaffe/internal/dataset"
 	"swcaffe/internal/models"
@@ -227,6 +228,12 @@ type FunctionalPoint struct {
 	Speedup   float64   // p·T(1)/T(p) over the measured step times
 	CommShare float64   // Comm / StepTime of the last step
 	Loss      float32   // mean loss of the last step
+
+	// Steps is the full retained per-step trend from the trainer's
+	// StepHistory ring, oldest first (all cfg.Iters steps when Iters
+	// fits the ring) — so a sweep reports warm-up vs. steady state
+	// without re-running the point.
+	Steps []StepStats
 }
 
 // FunctionalSweepConfig parameterizes FunctionalSweep.
@@ -261,7 +268,7 @@ func FunctionalSweep(build func() (*core.Net, map[string]*tensor.Tensor, error),
 	if cfg.SubBatch <= 0 {
 		return nil, fmt.Errorf("train: FunctionalSweep needs a positive SubBatch, got %d", cfg.SubBatch)
 	}
-	measure := func(p int) (StepStats, float32, error) {
+	measure := func(p int) (StepStats, []StepStats, float32, error) {
 		tr, err := NewDistTrainer(DistConfig{
 			Nodes: p, SubBatch: cfg.SubBatch, Solver: cfg.Solver,
 			Overlap: cfg.Overlap, BucketBytes: cfg.BucketBytes, AutoBucket: cfg.AutoBucket,
@@ -269,7 +276,7 @@ func FunctionalSweep(build func() (*core.Net, map[string]*tensor.Tensor, error),
 			Network: cfg.Network, Mapping: cfg.Mapping, Timeline: cfg.Timeline,
 		}, build)
 		if err != nil {
-			return StepStats{}, 0, err
+			return StepStats{}, nil, 0, err
 		}
 		defer tr.Close()
 		var loss float32
@@ -277,19 +284,25 @@ func FunctionalSweep(build func() (*core.Net, map[string]*tensor.Tensor, error),
 			tr.LoadShards(ds, it)
 			loss = tr.Step()
 		}
-		return tr.LastStep, loss, nil
+		// Deep-copy the history out of the ring: its slots (and their
+		// bucket arrays) die with the trainer.
+		steps := tr.StepHistory(nil)
+		for i := range steps {
+			steps[i].Buckets = append([]collective.BucketStat(nil), steps[i].Buckets...)
+		}
+		return tr.LastStep, steps, loss, nil
 	}
-	base, _, err := measure(1)
+	base, _, _, err := measure(1)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]FunctionalPoint, 0, len(nodeCounts))
 	for _, p := range nodeCounts {
-		st, loss, err := measure(p)
+		st, steps, loss, err := measure(p)
 		if err != nil {
 			return nil, err
 		}
-		pt := FunctionalPoint{Nodes: p, Stats: st, Loss: loss}
+		pt := FunctionalPoint{Nodes: p, Stats: st, Loss: loss, Steps: steps}
 		if st.StepTime > 0 {
 			pt.Speedup = float64(p) * base.StepTime / st.StepTime
 			pt.CommShare = st.Comm / st.StepTime

@@ -10,6 +10,7 @@ import (
 	"swcaffe/internal/core"
 	"swcaffe/internal/dataset"
 	"swcaffe/internal/elastic"
+	"swcaffe/internal/obs"
 	"swcaffe/internal/perf"
 	"swcaffe/internal/simnet"
 	"swcaffe/internal/sw26010"
@@ -113,6 +114,21 @@ type DistConfig struct {
 	// through the production failure machinery (event poisoning,
 	// simnet run teardown). Nil costs nothing on the hot path.
 	Faults *elastic.FaultPlan
+
+	// Tracer, when non-nil, records the run on the simulated clock:
+	// pass launches as per-rank CG spans (via swnode), bucket flushes
+	// and hierarchical phases as collective spans (via the engine), and
+	// elastic events as instants. Tracing observes the modeled times —
+	// parameters and StepStats stay bit-identical to an untraced run,
+	// and the nil default costs the hot paths nothing (the -benchmem
+	// TracedOff bench pins 0 extra allocs/op).
+	Tracer *obs.Tracer
+
+	// HistorySize bounds the StepHistory ring (<= 0 selects
+	// DefaultStepHistory). The ring retains the most recent Steps'
+	// StepStats — per-bucket attribution included — so multi-step runs
+	// report trends without re-running.
+	HistorySize int
 }
 
 // DefaultBucketBytes is the overlapped trainer's fixed bucket cap
@@ -147,6 +163,23 @@ type DistTrainer struct {
 	// LastStep is the modeled decomposition of the most recent Step.
 	LastStep StepStats
 	iter     int
+
+	// StepHistory ring: the most recent cfg.HistorySize steps'
+	// StepStats (recordStep). Slots own their bucket arrays and are
+	// reused in place, so the ring is allocation-free at steady state.
+	history []StepStats
+	histPos int // next slot to overwrite
+	histLen int // valid entries (<= len(history))
+
+	// bucketScratch backs LastStep.Buckets, reused across Steps.
+	bucketScratch []collective.BucketStat
+
+	// traceTime is the cumulative modeled compute frontier: each step's
+	// comm spans anchor at the step's pass start on the node timelines
+	// (pass k begins at k·computeEnd via stream chaining), so advancing
+	// by the step's compute keeps trace overlays aligned with the pass
+	// spans. Maintained only when cfg.Tracer is set.
+	traceTime float64
 
 	// Modeled per-layer timeline (lazily built from cfg.Device). The
 	// same priced costs drive both views of compute: layerDone feeds
@@ -192,12 +225,48 @@ type DistTrainer struct {
 
 // StepStats is the modeled time decomposition of one Step of the
 // functional trainer: per-layer compute priced on cfg.Device composed
-// with the simulated all-reduce makespans.
+// with the simulated all-reduce makespans, the step's simnet traffic
+// census, and the per-bucket attribution of where the communication
+// time went.
 type StepStats struct {
 	Compute  float64 // forward + backward
 	Comm     float64 // summed simulated all-reduce makespans
 	Exposed  float64 // communication not hidden behind backward
 	StepTime float64 // modeled iteration wall time
+
+	// Traffic census summed over the step's collectives (see
+	// simnet.Result): messages posted, the cross-supernode subset, and
+	// the cross-supernode virtual wire bytes.
+	Msgs, CrossMsgs, CrossBytes int64
+
+	// Buckets is the per-flush attribution (one entry per gradient
+	// bucket on the overlap path; the single barrier flush otherwise):
+	// layout position, priced vs. realized cost, flush window, exposed
+	// contribution, census. The backing array is reused across Steps —
+	// copy before the next Step to keep it.
+	Buckets []collective.BucketStat
+}
+
+// Equal reports whether two StepStats are bit-identical — every
+// modeled time, census count and per-bucket attribution entry. This is
+// the comparison the execution-path goldens pin (StepStats grew a
+// slice field, so == no longer compiles).
+func (s StepStats) Equal(o StepStats) bool {
+	if s.Compute != o.Compute || s.Comm != o.Comm || s.Exposed != o.Exposed || s.StepTime != o.StepTime {
+		return false
+	}
+	if s.Msgs != o.Msgs || s.CrossMsgs != o.CrossMsgs || s.CrossBytes != o.CrossBytes {
+		return false
+	}
+	if len(s.Buckets) != len(o.Buckets) {
+		return false
+	}
+	for i := range s.Buckets {
+		if s.Buckets[i] != o.Buckets[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // NewDistTrainer builds nodes workers from a model factory. The
@@ -231,6 +300,9 @@ func NewDistTrainer(cfg DistConfig, buildNet func() (*core.Net, map[string]*tens
 		} else {
 			t.nodes = swnode.NewCluster(cfg.Nodes, nil)
 		}
+		if cfg.Tracer != nil {
+			t.nodes.SetTracer(cfg.Tracer)
+		}
 	}
 	for r := 0; r < cfg.Nodes; r++ {
 		net, inputs, err := buildNet()
@@ -253,6 +325,7 @@ func NewDistTrainer(cfg DistConfig, buildNet func() (*core.Net, map[string]*tens
 			// weight drives the deterministic least-loaded placement.
 			w.node = t.nodes.Node(r)
 			w.stream = w.node.NewStream()
+			w.stream.SetLabel("pass")
 		}
 		t.Workers = append(t.Workers, w)
 	}
@@ -338,6 +411,7 @@ func (t *DistTrainer) launchPasses(watch bool, pass func(i int, w *Worker, tick 
 		for _, w := range t.Workers {
 			if w.stream.Poisoned() {
 				w.stream = w.node.NewStream()
+				w.stream.SetLabel("pass")
 			}
 		}
 		// The launch weight is the swdnn-plan-priced pass cost, so the
@@ -543,7 +617,7 @@ func (t *DistTrainer) stepBarrier() float32 {
 			return eng.ReduceFull(n, views[n.Rank])
 		})
 	}()
-	eng.CommitFull(outs)
+	eng.CommitFull(outs, res)
 	t.CommTime += res.Time
 
 	// Average and update every replica identically (line 10).
@@ -554,15 +628,27 @@ func (t *DistTrainer) stepBarrier() float32 {
 	t.iter++
 
 	// Barrier timeline: the per-node modeled compute makespans barrier,
-	// then the whole all-reduce is exposed.
+	// then the whole all-reduce is exposed. ComposeFull finalizes the
+	// single flush's attribution window (and emits its spans when
+	// traced) without touching the arithmetic below.
+	if t.cfg.Tracer != nil {
+		eng.SetTraceBase(t.traceTime)
+	}
+	eng.ComposeFull(compute)
+	t.bucketScratch = append(t.bucketScratch[:0], eng.FullStat())
 	t.LastStep = StepStats{
-		Compute:  compute,
-		Comm:     res.Time,
-		Exposed:  res.Time,
-		StepTime: compute + res.Time,
+		Compute:    compute,
+		Comm:       res.Time,
+		Exposed:    res.Time,
+		StepTime:   compute + res.Time,
+		Msgs:       res.Msgs,
+		CrossMsgs:  res.CrossMsgs,
+		CrossBytes: res.CrossBytes,
+		Buckets:    t.bucketScratch,
 	}
 	t.ComputeTime += compute
 	t.ExposedCommTime += res.Time
+	t.recordStep()
 
 	var mean float32
 	for _, l := range losses {

@@ -288,7 +288,7 @@ func TestClusterRuntimeBitIdenticalToHostMath(t *testing.T) {
 				}
 				// The modeled decompositions must agree too: the node
 				// timelines advance by exactly the priced per-layer costs.
-				if sim.LastStep != host.LastStep {
+				if !sim.LastStep.Equal(host.LastStep) {
 					t.Fatalf("overlap=%v nodes=%d iter %d: StepStats %+v != host-math %+v",
 						overlap, nodes, it, sim.LastStep, host.LastStep)
 				}

@@ -2,8 +2,14 @@
 # bench.sh — benchmark regression harness. Runs the key simulator /
 # planner / trainer benchmarks with -benchmem, runs the simulated-time
 # invariance test, and writes the results as JSON (default
-# BENCH_PR6.json) extending the perf trajectory that future PRs are
-# judged against. PR 6 adds the elastic-training costs —
+# BENCH_PR7.json) extending the perf trajectory that future PRs are
+# judged against. PR 7 adds the tracing-cost variants —
+# DistStepTracedOff (no tracer configured: must match DistStepOverlap
+# exactly, proving the nil-guarded trace call sites are free) and
+# DistStepTracedOn (a live Tracer capturing spans: host cost only; the
+# modeled-us/step must stay bit-identical at 636.7) — and writes the
+# deterministic metrics snapshot of a traced smoke run next to the
+# JSON. PR 6 added the elastic-training costs —
 # CheckpointSave/CheckpointRestore (full trainer state through the
 # versioned on-disk gob) and ShrinkRecovery (the p=8 -> p'=7
 # shrink + restore + first re-planned step after a rank failure) —
@@ -24,9 +30,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR6.json}"
+OUT="${1:-BENCH_PR7.json}"
 BENCHTIME="${2:-1s}"
-PATTERN='^(BenchmarkSimGEMM64|BenchmarkSimGEMM128|BenchmarkSimGEMMRagged|BenchmarkSimConvExplicit|BenchmarkConvPlanSelection|BenchmarkGEMMPlanWarm|BenchmarkGEMMPlanCold|BenchmarkTable2|BenchmarkSolverUpdate|BenchmarkAllreducePack|BenchmarkAllreduceScale|BenchmarkDistStepBarrier|BenchmarkDistStepOverlap|BenchmarkDistStepBarrierHostMath|BenchmarkDistStepOverlapHostMath|BenchmarkDistStepOverlapFixedDefault|BenchmarkDistStepOverlapAuto|BenchmarkDistStepBarrierRing|BenchmarkDistStepOverlapRingFixedDefault|BenchmarkDistStepOverlapRingAuto|BenchmarkDistStepBarrierHier|BenchmarkDistStepOverlapHierFixedDefault|BenchmarkDistStepOverlapHierAuto|BenchmarkDistStepOverlapAlgAuto|BenchmarkDistStepOverlapTimeline|BenchmarkCGTrainerStep|BenchmarkCheckpointSave|BenchmarkCheckpointRestore|BenchmarkShrinkRecovery)$'
+PATTERN='^(BenchmarkSimGEMM64|BenchmarkSimGEMM128|BenchmarkSimGEMMRagged|BenchmarkSimConvExplicit|BenchmarkConvPlanSelection|BenchmarkGEMMPlanWarm|BenchmarkGEMMPlanCold|BenchmarkTable2|BenchmarkSolverUpdate|BenchmarkAllreducePack|BenchmarkAllreduceScale|BenchmarkDistStepBarrier|BenchmarkDistStepOverlap|BenchmarkDistStepBarrierHostMath|BenchmarkDistStepOverlapHostMath|BenchmarkDistStepOverlapFixedDefault|BenchmarkDistStepOverlapAuto|BenchmarkDistStepBarrierRing|BenchmarkDistStepOverlapRingFixedDefault|BenchmarkDistStepOverlapRingAuto|BenchmarkDistStepBarrierHier|BenchmarkDistStepOverlapHierFixedDefault|BenchmarkDistStepOverlapHierAuto|BenchmarkDistStepOverlapAlgAuto|BenchmarkDistStepOverlapTimeline|BenchmarkDistStepTracedOff|BenchmarkDistStepTracedOn|BenchmarkCGTrainerStep|BenchmarkCheckpointSave|BenchmarkCheckpointRestore|BenchmarkShrinkRecovery)$'
 
 echo "== running invariance check (simulated times must match golden) =="
 if go test ./internal/swdnn/ -run 'TestEngineInvariance|TestEngineDeterminism' -count=1 >/dev/null 2>&1; then
@@ -59,7 +65,7 @@ echo "$RAW" | awk -v invariance="$INVARIANCE" -v date="$(date -u +%Y-%m-%dT%H:%M
 }
 END {
     printf "{\n"
-    printf "  \"pr\": 6,\n"
+    printf "  \"pr\": 7,\n"
     printf "  \"date\": \"%s\",\n", date
     printf "  \"invariance\": \"%s\",\n", invariance
     printf "  \"benchmarks\": {\n"
@@ -74,7 +80,7 @@ END {
     }
     printf "  },\n"
     printf "  \"pr4_reference\": {\n"
-    printf "    \"comment\": \"PR-4 numbers live in BENCH_PR4.json; DistStep modeled-us/step must be unchanged (676.8 barrier / 636.7 overlap) — the elastic fault machinery (PR 6), like the hierarchical strategy (PR 5), costs nothing on the healthy path\",\n"
+    printf "    \"comment\": \"PR-4 numbers live in BENCH_PR4.json; DistStep modeled-us/step must be unchanged (676.8 barrier / 636.7 overlap) — the tracing layer (PR 7), like the elastic fault machinery (PR 6) and the hierarchical strategy (PR 5), costs nothing when disabled\",\n"
     printf "    \"BenchmarkDistStepBarrier\": {\"modeled_us_step\": 676.8, \"exposed_comm_us_step\": 79.4},\n"
     printf "    \"BenchmarkDistStepOverlapAuto\": {\"modeled_us_step\": 636.7, \"exposed_comm_us_step\": 39.3}\n"
     printf "  }\n"
@@ -82,3 +88,10 @@ END {
 }' > "$OUT"
 
 echo "== wrote $OUT =="
+
+METRICS="${OUT%.json}.metrics.txt"
+echo "== capturing metrics snapshot ($METRICS) =="
+go run ./cmd/swtrain -nodes 8 -iters 3 -batch 8 -overlap -alg hier -q 4 -bucket-kb 2 -metrics \
+    | sed -n '/^metrics:$/,$p' | tail -n +2 > "$METRICS"
+cat "$METRICS"
+echo "== wrote $METRICS =="
