@@ -1,5 +1,7 @@
 package elastic
 
+import "swcaffe/internal/detrand"
+
 // RNG is a counted splitmix64 stream built for checkpointing: the
 // cursor (Seed, Draws) names the exact stream position, and restoring
 // a cursor is O(1) — the k-th draw is a pure function of seed and k,
@@ -26,13 +28,14 @@ func RestoreRNG(seed, draws uint64) *RNG { return &RNG{Seed: seed, Draws: draws}
 // stream exactly where a restored copy would.
 func (r *RNG) Cursor() (seed, draws uint64) { return r.Seed, r.Draws }
 
-// Uint64 returns the next draw and advances the cursor by exactly one.
+// Uint64 returns the next draw and advances the cursor by exactly
+// one. The generator itself lives in internal/detrand (shared with
+// the uncheckpointed streams repo-wide); the cursor semantics — and
+// the exact values every existing checkpoint golden pins — are
+// unchanged.
 func (r *RNG) Uint64() uint64 {
 	r.Draws++
-	x := r.Seed + r.Draws*0x9E3779B97F4A7C15
-	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
-	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
-	return x ^ (x >> 31)
+	return detrand.Mix(r.Seed, r.Draws)
 }
 
 // Intn returns a draw in [0, n). The modulo bias is below 2^-40 for
