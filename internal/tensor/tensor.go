@@ -10,8 +10,16 @@ package tensor
 import (
 	"fmt"
 	"math"
-	"math/rand"
 )
+
+// Rand is the randomness source the Fill* initializers draw from.
+// *detrand.RNG satisfies it (the repo's counted splitmix64 stream —
+// the rawrand contract's blessed source), as does *math/rand.Rand in
+// tests; tensor itself depends on neither.
+type Rand interface {
+	Float64() float64
+	NormFloat64() float64
+}
 
 // Layout identifies the in-memory ordering of a 4-D tensor.
 type Layout uint8
@@ -141,14 +149,14 @@ func (t *Tensor) Fill(v float32) {
 }
 
 // FillGaussian fills with N(mean, std) samples from rng.
-func (t *Tensor) FillGaussian(rng *rand.Rand, mean, std float64) {
+func (t *Tensor) FillGaussian(rng Rand, mean, std float64) {
 	for i := range t.Data {
 		t.Data[i] = float32(rng.NormFloat64()*std + mean)
 	}
 }
 
 // FillUniform fills with U[lo, hi) samples from rng.
-func (t *Tensor) FillUniform(rng *rand.Rand, lo, hi float64) {
+func (t *Tensor) FillUniform(rng Rand, lo, hi float64) {
 	for i := range t.Data {
 		t.Data[i] = float32(lo + rng.Float64()*(hi-lo))
 	}
@@ -156,7 +164,7 @@ func (t *Tensor) FillUniform(rng *rand.Rand, lo, hi float64) {
 
 // FillXavier applies the Caffe "xavier" filler: U[-a, a] with
 // a = sqrt(3 / fanIn).
-func (t *Tensor) FillXavier(rng *rand.Rand, fanIn int) {
+func (t *Tensor) FillXavier(rng Rand, fanIn int) {
 	if fanIn <= 0 {
 		panic("tensor: FillXavier fanIn must be positive")
 	}
@@ -165,7 +173,7 @@ func (t *Tensor) FillXavier(rng *rand.Rand, fanIn int) {
 }
 
 // FillMSRA applies the Caffe "msra" filler: N(0, sqrt(2 / fanIn)).
-func (t *Tensor) FillMSRA(rng *rand.Rand, fanIn int) {
+func (t *Tensor) FillMSRA(rng Rand, fanIn int) {
 	if fanIn <= 0 {
 		panic("tensor: FillMSRA fanIn must be positive")
 	}
