@@ -1,7 +1,7 @@
 package core
 
 import (
-	"math/rand"
+	"swcaffe/internal/detrand"
 
 	"swcaffe/internal/perf"
 	"swcaffe/internal/tensor"
@@ -74,12 +74,12 @@ type DropoutLayer struct {
 	ratio float32
 	n     int
 	mask  []float32
-	rng   *rand.Rand
+	rng   *detrand.RNG
 }
 
 // NewDropout builds a dropout layer with drop probability ratio.
 func NewDropout(name, bottom, top string, ratio float32) *DropoutLayer {
-	l := &DropoutLayer{ratio: ratio, rng: rand.New(rand.NewSource(int64(len(name)) * 31337))}
+	l := &DropoutLayer{ratio: ratio, rng: detrand.New(uint64(len(name)) * 31337)}
 	l.name, l.typ = name, "Dropout"
 	l.bottoms = []string{bottom}
 	l.tops = []string{top}

@@ -2,8 +2,8 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 
+	"swcaffe/internal/detrand"
 	"swcaffe/internal/perf"
 	"swcaffe/internal/swdnn"
 	"swcaffe/internal/tensor"
@@ -84,7 +84,7 @@ func (l *ConvLayer) Setup(bottoms []*tensor.Tensor) ([][4]int, error) {
 	if l.weight == nil {
 		l.weight = NewParam(l.name+".weight", l.cfg.NumOutput, in.C/g, l.cfg.Kernel, l.cfg.Kernel)
 		fanIn := in.C / g * l.cfg.Kernel * l.cfg.Kernel
-		rng := rand.New(rand.NewSource(int64(len(l.name))*7919 + 12345))
+		rng := detrand.New(uint64(len(l.name))*7919 + 12345)
 		switch l.cfg.WeightInit {
 		case "msra":
 			l.weight.Data.FillMSRA(rng, fanIn)

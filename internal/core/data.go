@@ -1,10 +1,10 @@
 package core
 
 import (
-	"math/rand"
 	"sync"
 
 	"swcaffe/internal/dataset"
+	"swcaffe/internal/detrand"
 	"swcaffe/internal/pario"
 	"swcaffe/internal/tensor"
 )
@@ -17,7 +17,7 @@ import (
 // finished — the exposed time the pario model prices analytically.
 type DataFeeder struct {
 	ds     dataset.Dataset
-	rng    *rand.Rand
+	rng    *detrand.RNG
 	random bool
 
 	batch  int
@@ -44,13 +44,14 @@ type DataFeeder struct {
 func NewDataFeeder(ds dataset.Dataset, batch int, random bool, seed int64) *DataFeeder {
 	c, h, w := ds.Dims()
 	f := &DataFeeder{
-		ds: ds, rng: rand.New(rand.NewSource(seed)), random: random,
+		ds: ds, rng: detrand.New(uint64(seed)), random: random,
 		batch:      batch,
 		nextData:   tensor.New(batch, c, h, w),
 		nextLabels: tensor.New(batch, 1, 1, 1),
 		procs:      1,
 	}
 	f.cond = sync.NewCond(&f.mu)
+	//swvet:ignore straygo: the prefetch I/O thread of paper Sec. V-B; bounded by Stop, which the trainers call on teardown
 	go f.loop()
 	return f
 }

@@ -2,8 +2,8 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 
+	"swcaffe/internal/detrand"
 	"swcaffe/internal/perf"
 	"swcaffe/internal/swdnn"
 	"swcaffe/internal/tensor"
@@ -50,7 +50,7 @@ func (l *InnerProductLayer) Setup(bottoms []*tensor.Tensor) ([][4]int, error) {
 	}
 	if l.weight == nil {
 		l.weight = NewParam(l.name+".weight", l.cfg.NumOutput, l.cin, 1, 1)
-		rng := rand.New(rand.NewSource(int64(len(l.name))*104729 + 7))
+		rng := detrand.New(uint64(len(l.name))*104729 + 7)
 		l.weight.Data.FillXavier(rng, l.cin)
 		if l.cfg.BiasTerm {
 			l.bias = NewParam(l.name+".bias", 1, l.cfg.NumOutput, 1, 1)
