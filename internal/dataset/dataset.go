@@ -6,8 +6,7 @@
 package dataset
 
 import (
-	"math/rand"
-
+	"swcaffe/internal/detrand"
 	"swcaffe/internal/tensor"
 )
 
@@ -55,7 +54,7 @@ func (d *SyntheticImageNet) Example(i int, dst []float32) int {
 	if len(dst) < need {
 		panic("dataset: destination too small")
 	}
-	rng := rand.New(rand.NewSource(int64(i)*2654435761 + 1))
+	rng := detrand.New(uint64(i)*2654435761 + 1)
 	lbl := i % d.K
 	// Class-dependent mean so the data is not pure noise.
 	mean := float32(lbl%16)/16 - 0.5
@@ -79,7 +78,7 @@ type Clusters struct {
 
 // NewClusters builds a k-class cluster task over (c, h, w) inputs.
 func NewClusters(n, k, c, h, w int, noise float64, seed int64) *Clusters {
-	rng := rand.New(rand.NewSource(seed))
+	rng := detrand.New(uint64(seed))
 	dim := c * h * w
 	centers := make([][]float32, k)
 	for i := range centers {
@@ -103,7 +102,7 @@ func (d *Clusters) Dims() (int, int, int) { return d.C, d.H, d.W }
 // Example implements Dataset.
 func (d *Clusters) Example(i int, dst []float32) int {
 	lbl := i % d.K
-	rng := rand.New(rand.NewSource(int64(i)*7919 + 13))
+	rng := detrand.New(uint64(i)*7919 + 13)
 	center := d.centers[lbl]
 	for j := range center {
 		dst[j] = center[j] + float32(rng.NormFloat64()*d.noise)
@@ -123,8 +122,8 @@ func Batch(d Dataset, start int, data, labels *tensor.Tensor) {
 	}
 }
 
-// Sampler is the index source RandomBatch draws from. *rand.Rand
-// satisfies it; so does elastic.RNG, whose cursor rides inside
+// Sampler is the index source RandomBatch draws from. *detrand.RNG
+// satisfies it; so does *elastic.RNG, whose cursor rides inside
 // checkpoints so a restored trainer resumes the identical sample
 // stream.
 type Sampler interface {
