@@ -197,20 +197,20 @@ type Sample struct {
 func (r *Registry) Snapshot() []Sample {
 	r.mu.Lock()
 	out := make([]Sample, 0, len(r.counts)+len(r.fcnts)+len(r.gauges)+len(r.gfuncs)+len(r.hists))
-	for name, c := range r.counts {
-		out = append(out, Sample{Name: name, Value: fmt.Sprintf("%d", c.Value())})
+	for _, name := range sortedKeys(r.counts) {
+		out = append(out, Sample{Name: name, Value: fmt.Sprintf("%d", r.counts[name].Value())})
 	}
-	for name, c := range r.fcnts {
-		out = append(out, Sample{Name: name, Value: fmt.Sprintf("%g", c.Value())})
+	for _, name := range sortedKeys(r.fcnts) {
+		out = append(out, Sample{Name: name, Value: fmt.Sprintf("%g", r.fcnts[name].Value())})
 	}
-	for name, g := range r.gauges {
-		out = append(out, Sample{Name: name, Value: fmt.Sprintf("%g", g.Value())})
+	for _, name := range sortedKeys(r.gauges) {
+		out = append(out, Sample{Name: name, Value: fmt.Sprintf("%g", r.gauges[name].Value())})
 	}
-	for name, f := range r.gfuncs {
-		out = append(out, Sample{Name: name, Value: fmt.Sprintf("%g", f())})
+	for _, name := range sortedKeys(r.gfuncs) {
+		out = append(out, Sample{Name: name, Value: fmt.Sprintf("%g", r.gfuncs[name]())})
 	}
-	for name, h := range r.hists {
-		count, sum, min, max := h.Stats()
+	for _, name := range sortedKeys(r.hists) {
+		count, sum, min, max := r.hists[name].Stats()
 		if count == 0 {
 			out = append(out, Sample{Name: name, Value: "count=0"})
 		} else {
@@ -219,8 +219,24 @@ func (r *Registry) Snapshot() []Sample {
 		}
 	}
 	r.mu.Unlock()
+	// The per-kind blocks above are each name-sorted; this merge sort
+	// interleaves the kinds. With sorted-keys iteration the input
+	// order is deterministic, so equal names (two kinds sharing one
+	// name) no longer tie-break on map iteration order.
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// sortedKeys returns m's keys in sorted order: the sanctioned way to
+// iterate a map wherever the result feeds deterministic output (the
+// maporder contract).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Write prints the snapshot as "name value" lines, one per metric,
