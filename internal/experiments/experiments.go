@@ -34,6 +34,7 @@ func parallelFor(n int, fn func(i int)) {
 	wg.Add(n)
 	panics := make(chan any, n)
 	for i := 0; i < n; i++ {
+		//swvet:ignore straygo: experiment fan-out; joined by wg.Wait immediately below, panics re-raised
 		go func(i int) {
 			defer wg.Done()
 			defer func() {
