@@ -9,8 +9,7 @@ package main
 import (
 	"fmt"
 	"math"
-	"math/rand"
-
+	"swcaffe/internal/detrand"
 	"swcaffe/internal/sw26010"
 	"swcaffe/internal/swdnn"
 )
@@ -47,7 +46,7 @@ func main() {
 	// and diff against the direct reference convolution.
 	fmt.Println("\nfunctional check of the explicit pipeline on the CPE mesh:")
 	s := swdnn.ConvShape{B: 1, Ni: 8, Ri: 12, Ci: 12, No: 16, K: 3, S: 1, P: 1}
-	rng := rand.New(rand.NewSource(1))
+	rng := detrand.New(1)
 	src := make([]float32, s.Ni*s.Ri*s.Ci)
 	w := make([]float32, s.No*s.Ni*s.K*s.K)
 	bias := make([]float32, s.No)
