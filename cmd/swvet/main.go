@@ -1,0 +1,79 @@
+// Command swvet runs swcaffe's determinism-contract analyzers over
+// the module and exits non-zero on any unsuppressed finding. It is
+// wired into `make check` (as `make lint`) and CI.
+//
+// Usage:
+//
+//	swvet [flags] [packages]
+//
+// Package arguments are import-path prefixes ("./..." and "" mean the
+// whole module; "./internal/train" scopes to one subtree). Findings
+// print one per line as
+//
+//	path:line:col: analyzer: message
+//
+// with paths relative to the module root and byte-deterministic
+// ordering, followed by a summary line. Exit status: 0 when clean,
+// 1 on findings, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"swcaffe/internal/analysis"
+)
+
+func main() {
+	catalog := flag.Bool("catalog", false, "print the analyzer catalog and exit")
+	quiet := flag.Bool("q", false, "print only the summary line")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: swvet [flags] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *catalog {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, module, err := analysis.ModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swvet:", err)
+		os.Exit(2)
+	}
+
+	// Translate ./-relative package patterns into import-path
+	// prefixes against the module.
+	var prefixes []string
+	for _, arg := range flag.Args() {
+		p := strings.TrimSuffix(arg, "/...")
+		p = strings.TrimPrefix(p, "./")
+		if p == "" || p == "." {
+			continue // whole module
+		}
+		prefixes = append(prefixes, module+"/"+strings.TrimSuffix(p, "/"))
+	}
+
+	r := &analysis.Runner{Root: root, Module: module}
+	res, err := r.Run(prefixes...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swvet:", err)
+		os.Exit(2)
+	}
+
+	if !*quiet {
+		for _, f := range res.Findings {
+			fmt.Println(f.String())
+		}
+	}
+	fmt.Printf("swvet: %d unsuppressed finding(s), %d suppressed\n", len(res.Findings), res.Suppressed)
+	if len(res.Findings) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// loader parses and type-checks module packages on demand. Stdlib
+// imports are satisfied by the source importer (GOROOT source, no
+// export-data or network dependency); module-internal imports recurse
+// through the loader itself, memoized per import path.
+type loader struct {
+	fset   *token.FileSet
+	std    types.Importer
+	root   string // module root directory
+	module string // module path ("swcaffe")
+	pkgs   map[string]*pkgInfo
+}
+
+// pkgInfo is one loaded package: syntax plus (possibly partial) type
+// information.
+type pkgInfo struct {
+	path  string
+	dir   string
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+func newLoader(root, module string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:   fset,
+		std:    importer.ForCompiler(fset, "source", nil),
+		root:   root,
+		module: module,
+		pkgs:   map[string]*pkgInfo{},
+	}
+}
+
+// Import implements types.Importer for the type-checker's benefit.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		pi, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pi.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// dirFor maps an in-module import path to its directory.
+func (l *loader) dirFor(path string) string {
+	if path == l.module {
+		return l.root
+	}
+	return filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.module+"/")))
+}
+
+// load parses and type-checks the package at the given in-module
+// import path, memoized. Parse errors are fatal (the tree must at
+// least be syntactically valid Go); type errors are tolerated so
+// analyzers still run, on partial information, over code that is
+// mid-refactor.
+func (l *loader) load(path string) (*pkgInfo, error) {
+	if pi, ok := l.pkgs[path]; ok {
+		return pi, nil
+	}
+	dir := l.dirFor(path)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(error) {}, // tolerate; Info stays partial
+	}
+	pkg, _ := conf.Check(path, l.fset, files, info)
+	pi := &pkgInfo{path: path, dir: dir, files: files, pkg: pkg, info: info}
+	l.pkgs[path] = pi
+	return pi, nil
+}
+
+// discover returns the import paths of every package under root, in
+// sorted order: any directory holding at least one buildable .go
+// file, skipping hidden directories and testdata.
+func (l *loader) discover() ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(l.root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		base := filepath.Base(p)
+		if p != l.root && (strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_") || base == "testdata") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				rel, err := filepath.Rel(l.root, p)
+				if err != nil {
+					return err
+				}
+				if rel == "." {
+					paths = append(paths, l.module)
+				} else {
+					paths = append(paths, l.module+"/"+filepath.ToSlash(rel))
+				}
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// ModuleRoot walks upward from dir to the nearest go.mod and returns
+// its directory and module path.
+func ModuleRoot(dir string) (root, module string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}

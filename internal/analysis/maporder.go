@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Maporder flags `range` over a map whose body accumulates into
+// state that outlives the loop in an order-sensitive way: appending
+// to an outer slice, or compound-assigning (`+=` and friends) into an
+// outer float or string. Go randomizes map iteration order on
+// purpose, so such a loop produces a different slice order — or a
+// different float rounding — on every run, which poisons trace spans,
+// metric snapshots, and anything else pinned by the bit-identity
+// goldens.
+//
+// The one blessed shape is key collection for sorting,
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Strings(keys)
+//
+// which the analyzer recognizes (the appended value is exactly the
+// key variable) and leaves alone: the append order is irrelevant once
+// the keys are sorted, and flagging it would outlaw the idiom that
+// fixes every other finding.
+func Maporder() *Analyzer {
+	return &Analyzer{
+		Name: "maporder",
+		Doc:  "flag order-dependent accumulation inside range-over-map loops",
+		Run:  runMaporder,
+	}
+}
+
+func runMaporder(p *Pass) {
+	if p.Info == nil {
+		return
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			keyObj := p.objectOf(rs.Key)
+			checkMapRangeBody(p, rs, keyObj)
+			return true
+		})
+	}
+}
+
+// checkMapRangeBody walks one map-range body looking for
+// order-dependent writes to state declared outside the loop.
+func checkMapRangeBody(p *Pass, rs *ast.RangeStmt, keyObj types.Object) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ASSIGN:
+			// x = append(x, ...) — order-dependent when x outlives
+			// the loop, unless it is the sorted-keys idiom.
+			for i, rhs := range as.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(p, call) || i >= len(as.Lhs) {
+					continue
+				}
+				if !p.declaredOutside(as.Lhs[i], rs) {
+					continue
+				}
+				if isKeyCollection(p, call, keyObj) {
+					continue
+				}
+				p.Reportf(as.Pos(), "append into a slice that outlives this range-over-map: iteration order is randomized; collect and sort the keys first")
+			}
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			lhs := as.Lhs[0]
+			if !p.declaredOutside(lhs, rs) {
+				return true
+			}
+			t := p.typeOf(lhs)
+			if t == nil {
+				return true
+			}
+			switch bt, ok := t.Underlying().(*types.Basic); {
+			case !ok:
+			case bt.Info()&types.IsFloat != 0:
+				p.Reportf(as.Pos(), "float accumulation across a range-over-map: iteration order is randomized and float addition is not associative; iterate sorted keys")
+			case bt.Info()&types.IsString != 0:
+				p.Reportf(as.Pos(), "string accumulation across a range-over-map: iteration order is randomized; iterate sorted keys")
+			}
+		}
+		return true
+	})
+}
+
+// objectOf resolves an expression that should be a plain identifier
+// to its object, or nil.
+func (p *Pass) objectOf(e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || p.Info == nil {
+		return nil
+	}
+	if obj, ok := p.Info.Defs[id]; ok && obj != nil {
+		return obj
+	}
+	return p.Info.Uses[id]
+}
+
+func (p *Pass) typeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// declaredOutside reports whether the assignment target refers to
+// state declared outside the given range statement. Selector and
+// index targets (s.field, arr[i]) always outlive the loop body;
+// identifiers are checked against their declaration position. When
+// resolution fails the target is assumed local, keeping the analyzer
+// quiet rather than guessy.
+func (p *Pass) declaredOutside(lhs ast.Expr, rs *ast.RangeStmt) bool {
+	switch e := lhs.(type) {
+	case *ast.Ident:
+		obj := p.objectOf(e)
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	// A local function named append would shadow the builtin.
+	if obj := p.objectOf(id); obj != nil {
+		_, isBuiltin := obj.(*types.Builtin)
+		return isBuiltin
+	}
+	return true
+}
+
+// isKeyCollection recognizes append(dst, k) where k is exactly the
+// range key — the first half of the sorted-keys idiom.
+func isKeyCollection(p *Pass, call *ast.CallExpr, keyObj types.Object) bool {
+	if keyObj == nil || len(call.Args) != 2 {
+		return false
+	}
+	id, ok := call.Args[1].(*ast.Ident)
+	return ok && p.objectOf(id) == keyObj
+}

@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// printlessBanned are the fmt entry points that write to stdout.
+// Sprintf/Errorf/Fprintf stay legal: they produce values the caller
+// routes, which is the contract — library code returns reports, and
+// only cmd/ decides what a terminal sees.
+var printlessBanned = map[string]bool{
+	"Print":   true,
+	"Printf":  true,
+	"Println": true,
+}
+
+// Printless forbids direct terminal output from internal/ library
+// code: fmt.Print* and any use of the stdlib log package.
+func Printless() *Analyzer {
+	return &Analyzer{
+		Name: "printless",
+		Doc:  "forbid fmt.Print*/log.* in internal/ packages; user output belongs to cmd/",
+		Run:  runPrintless,
+	}
+}
+
+func runPrintless(p *Pass) {
+	if !strings.Contains(p.Path, "/internal/") {
+		return
+	}
+	for _, file := range p.Files {
+		for _, imp := range file.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == "log" {
+				p.Reportf(imp.Pos(), "import of log in internal/ library code: return a report or error instead; terminal output belongs to cmd/")
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !printlessBanned[sel.Sel.Name] {
+				return true
+			}
+			if p.PkgNameOf(file, id) == "fmt" {
+				p.Reportf(sel.Pos(), "fmt.%s writes to stdout from internal/ library code: return a report or error instead", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// pooledRuntimes are the packages allowed to launch goroutines: they
+// own worker pools with deterministic join points (the CPE pools, the
+// per-node stream schedulers, the simnet rank runner). Everywhere
+// else a bare `go` statement is the leak class PR 1 (CPE pool
+// predecessor) and PR 3 (simnet ghost receivers) each fixed once by
+// hand: a goroutine that outlives its Run and corrupts the next one.
+var pooledRuntimes = map[string]bool{
+	"sw26010": true,
+	"swnode":  true,
+	"simnet":  true,
+}
+
+// Straygo flags goroutine launches outside the pooled runtimes and
+// cmd/ binaries.
+func Straygo() *Analyzer {
+	return &Analyzer{
+		Name: "straygo",
+		Doc:  "flag go statements outside the pooled runtimes (sw26010, swnode, simnet) and cmd/",
+		Run:  runStraygo,
+	}
+}
+
+func runStraygo(p *Pass) {
+	module := moduleOf(p.Path)
+	if strings.HasPrefix(p.Path, module+"/cmd/") {
+		return
+	}
+	if name, ok := strings.CutPrefix(p.Path, module+"/internal/"); ok && pooledRuntimes[name] {
+		return
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				p.Reportf(g.Pos(), "goroutine launched outside the pooled runtimes: route the work through sw26010/swnode/simnet, or suppress with the join-point that bounds its lifetime")
+			}
+			return true
+		})
+	}
+}

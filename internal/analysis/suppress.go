@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreMarker introduces a suppression comment. The full grammar is
+//
+//	//swvet:ignore <analyzer>: <reason>
+//
+// The analyzer name must be one registered in All(), and the reason
+// must be non-empty: an unexplained exception is itself reported (as
+// the "ignore" pseudo-analyzer) and cannot be suppressed.
+const ignoreMarker = "swvet:ignore"
+
+// suppression is one parsed, well-formed ignore comment.
+type suppression struct {
+	analyzer string
+	line     int // line the comment sits on
+	trailing bool
+	used     bool
+}
+
+// fileSuppressions scans one file's comments and returns the
+// well-formed suppressions plus findings for every malformed one.
+// lineHasCode reports, per line, whether any non-comment token starts
+// there — that distinguishes a trailing suppression (targets its own
+// line) from a standalone one (targets the next line).
+func fileSuppressions(fset *token.FileSet, file *ast.File) (sups []*suppression, malformed []Finding) {
+	lineHasCode := map[int]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, isComment := n.(*ast.Comment); isComment {
+			return false
+		}
+		if _, isGroup := n.(*ast.CommentGroup); isGroup {
+			return false
+		}
+		lineHasCode[fset.Position(n.Pos()).Line] = true
+		return true
+	})
+
+	known := knownNames()
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//")
+			if !ok {
+				continue // /* */ comments cannot carry suppressions
+			}
+			text = strings.TrimSpace(text)
+			rest, ok := strings.CutPrefix(text, ignoreMarker)
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			name, reason, found := strings.Cut(strings.TrimSpace(rest), ":")
+			name = strings.TrimSpace(name)
+			reason = strings.TrimSpace(reason)
+			switch {
+			case !found || reason == "":
+				malformed = append(malformed, Finding{
+					Pos:      pos,
+					Analyzer: "ignore",
+					Message:  "suppression without a reason; write //swvet:ignore <analyzer>: <reason>",
+				})
+			case !known[name]:
+				malformed = append(malformed, Finding{
+					Pos:      pos,
+					Analyzer: "ignore",
+					Message:  "suppression names unknown analyzer " + strconvQuote(name),
+				})
+			default:
+				sups = append(sups, &suppression{
+					analyzer: name,
+					line:     pos.Line,
+					trailing: lineHasCode[pos.Line],
+				})
+			}
+		}
+	}
+	return sups, malformed
+}
+
+// target returns the line this suppression applies to: its own line
+// when trailing code, otherwise the next line.
+func (s *suppression) target() int {
+	if s.trailing {
+		return s.line
+	}
+	return s.line + 1
+}
+
+func strconvQuote(s string) string { return "\"" + s + "\"" }

@@ -1,0 +1,12 @@
+// Command tool is a fixture: cmd/ binaries may launch goroutines and
+// print, so neither straygo nor printless fires here.
+package main
+
+import "fmt"
+
+func main() {
+	done := make(chan struct{})
+	go func() { close(done) }() // no finding: cmd/ is exempt
+	<-done
+	fmt.Println("done") // no finding: cmd/ owns the terminal
+}

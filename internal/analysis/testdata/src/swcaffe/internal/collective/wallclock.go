@@ -1,0 +1,24 @@
+// Package collective is a fixture: a simulated-clock package with
+// seeded wall-clock violations for the wallclock analyzer's golden
+// test.
+package collective
+
+import "time"
+
+// Timeout is legal: time.Duration describes a duration without
+// reading a clock.
+const Timeout = 50 * time.Microsecond
+
+func violations() time.Time {
+	start := time.Now()          // finding
+	_ = time.Since(start)        // finding
+	time.Sleep(time.Millisecond) // finding
+	<-time.After(Timeout)        // finding
+	return start
+}
+
+func suppressed() {
+	//swvet:ignore wallclock: fixture for a blessed pool-synchronization site
+	_ = time.Now()
+	_ = time.Now() //swvet:ignore wallclock: trailing-comment form
+}

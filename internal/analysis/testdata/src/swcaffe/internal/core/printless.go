@@ -1,0 +1,26 @@
+// Package core is a fixture: terminal output from internal/ library
+// code, for the printless analyzer's golden test.
+package core
+
+import (
+	"fmt"
+	"log" // finding
+)
+
+// Report formats legally: Sprintf returns a value for the caller to
+// route.
+func Report(n int) string {
+	return fmt.Sprintf("%d findings", n)
+}
+
+// Shout writes to the terminal from library code.
+func Shout(n int) {
+	fmt.Println("findings:", n) // finding
+	fmt.Printf("count=%d\n", n) // finding
+	log.Printf("count=%d", n)
+}
+
+// Suppressed carries an explained exception.
+func Suppressed() {
+	fmt.Println("progress") //swvet:ignore printless: fixture; temporary debug output
+}

@@ -1,0 +1,49 @@
+// Package obs is a fixture: range-over-map accumulation patterns for
+// the maporder analyzer's golden test.
+package obs
+
+import "sort"
+
+// Bad accumulates into outer state from randomized map order.
+func Bad(m map[string]float64) ([]string, float64, string) {
+	var names []string
+	var sum float64
+	var joined string
+	for k, v := range m {
+		names = append(names, k+"!") // finding: appended value is not the key
+		sum += v                     // finding: float accumulation
+		joined += k                  // finding: string accumulation
+	}
+	return names, sum, joined
+}
+
+// SortedKeys is the blessed idiom: collecting the keys for sorting is
+// order-insensitive once sorted.
+func SortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // no finding: sorted-keys idiom
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// LoopLocal accumulates only into state that dies each iteration.
+func LoopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...) // no finding: slice is loop-local
+		n += len(local)              // no finding: int accumulation commutes
+	}
+	return n
+}
+
+// Suppressed carries an explained exception.
+func Suppressed(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //swvet:ignore maporder: fixture; consumer tolerates ULP wobble
+	}
+	return sum
+}

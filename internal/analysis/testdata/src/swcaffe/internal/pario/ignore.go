@@ -1,0 +1,16 @@
+// Package pario is a fixture: malformed suppression comments, which
+// are findings of the "ignore" pseudo-analyzer and cannot themselves
+// be suppressed.
+package pario
+
+// Bare exercises every malformed shape.
+func Bare() {
+	//swvet:ignore
+	_ = 1
+	//swvet:ignore straygo:
+	_ = 2
+	//swvet:ignore nosuch: the analyzer name must be registered
+	_ = 3
+	//swvet:ignore printless: this one is well-formed and merely unused
+	_ = 4
+}

@@ -1,0 +1,8 @@
+// Package swnode is a fixture: a pooled runtime where goroutine
+// launches are the package's whole point, so straygo stays silent.
+package swnode
+
+// Spawn launches a worker; no finding in a pooled runtime.
+func Spawn(done chan struct{}) {
+	go func() { close(done) }()
+}

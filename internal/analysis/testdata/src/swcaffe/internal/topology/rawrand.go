@@ -1,0 +1,9 @@
+// Package topology is a fixture: an ordinary internal package that
+// imports math/rand, which the rawrand analyzer forbids everywhere
+// outside internal/elastic.
+package topology
+
+import "math/rand" // finding
+
+// Pick exists so the import is used.
+func Pick(n int) int { return rand.New(rand.NewSource(1)).Intn(n) }

@@ -1,0 +1,28 @@
+// Package train is a fixture: goroutine launches in a package that is
+// not a pooled runtime, for the straygo analyzer's golden test.
+package train
+
+import "sync"
+
+// Leak launches an unjoined goroutine.
+func Leak() {
+	go func() {}() // finding
+}
+
+// Joined is still flagged — the analyzer cannot prove join points, so
+// structured concurrency outside the runtimes must carry a reason.
+func Joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }() // finding
+	wg.Wait()
+}
+
+// Suppressed names its join point.
+func Suppressed() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	//swvet:ignore straygo: fixture; joined by wg.Wait two lines down
+	go func() { defer wg.Done() }()
+	wg.Wait()
+}

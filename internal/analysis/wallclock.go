@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// simClockPkgs are the packages whose notion of time is the simulated
+// clock: every duration they account must come from the priced cost
+// models advancing CPE/stream clocks, never from the host. A stray
+// time.Now here silently couples modeled step times to machine load,
+// which is exactly the class of bug the bit-identity goldens exist to
+// catch — late.
+var simClockPkgs = map[string]bool{
+	"simnet":     true,
+	"swnode":     true,
+	"collective": true,
+	"allreduce":  true,
+	"obs":        true,
+	"train":      true,
+}
+
+// wallclockBanned are the time-package entry points that observe or
+// block on the host clock. Types and constants (time.Duration,
+// time.Microsecond) remain fine: they describe durations without
+// reading a clock.
+var wallclockBanned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// Wallclock forbids host-clock reads in simulated-clock packages.
+func Wallclock() *Analyzer {
+	return &Analyzer{
+		Name: "wallclock",
+		Doc:  "forbid time.Now/Since/Sleep (and friends) in simulated-clock packages",
+		Run:  runWallclock,
+	}
+}
+
+func runWallclock(p *Pass) {
+	name, ok := strings.CutPrefix(p.Path, moduleOf(p.Path)+"/internal/")
+	if !ok || !simClockPkgs[name] {
+		return
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !wallclockBanned[sel.Sel.Name] {
+				return true
+			}
+			if p.PkgNameOf(file, id) == "time" {
+				p.Reportf(sel.Pos(), "time.%s reads the host clock in simulated-clock package %s; advance the simulated clock via the priced cost models instead", sel.Sel.Name, name)
+			}
+			return true
+		})
+	}
+}
+
+// moduleOf recovers the module prefix of an import path: everything
+// before the first path element. The repo's module path has a single
+// element ("swcaffe"), as does the fixture module, so this is just
+// the first segment.
+func moduleOf(path string) string {
+	if i := strings.Index(path, "/"); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
