@@ -3,9 +3,16 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench clean
+.PHONY: check fmt vet lint build test race shuffle bench clean
 
-check: fmt vet build test
+check: fmt vet lint build test
+
+# lint runs swvet, the repo's determinism-contract analyzers
+# (internal/analysis): wallclock, rawrand, maporder, straygo,
+# printless. Non-zero exit on any unsuppressed finding; see the
+# "Static analysis" section of the README for the suppression policy.
+lint:
+	$(GO) run ./cmd/swvet ./...
 
 fmt:
 	@unformatted=$$(gofmt -l .); \
@@ -23,7 +30,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/sw26010/ ./internal/swnode/ ./internal/swdnn/ ./internal/train/ ./internal/collective/ ./internal/allreduce/ ./internal/simnet/ ./internal/elastic/ ./internal/obs/
+	$(GO) test -race ./internal/...
+
+# shuffle catches test-order dependence. The seed is chosen fresh and
+# echoed first, so a failing run can be reproduced exactly with
+# `go test -shuffle=<seed> -count=1 ./internal/...`.
+shuffle:
+	@seed=$$(date +%s); \
+	echo "go test -count=1 -shuffle=$$seed ./internal/..."; \
+	$(GO) test -count=1 -shuffle=$$seed ./internal/...
 
 bench:
 	scripts/bench.sh
