@@ -408,6 +408,35 @@ func BenchmarkDistStepOverlapTimeline(b *testing.B) {
 	benchDistTrainer(b, train.DistConfig{Overlap: true, BucketBytes: 8 << 10, Timeline: true})
 }
 
+// Discrete-event backend variants of the DistStep pair: the same
+// training step scheduled on internal/des's single-threaded event
+// heap instead of goroutine ranks. The modeled-us/step must match the
+// goroutine backend bit for bit (676.8 barrier / 636.7 overlap-auto
+// lineage — the DES goldens pin it); the host cost is what changes.
+func BenchmarkDistStepBarrierDES(b *testing.B) {
+	benchDistTrainer(b, train.DistConfig{Timeline: true, Backend: train.BackendDES})
+}
+
+func BenchmarkDistStepOverlapDES(b *testing.B) {
+	benchDistTrainer(b, train.DistConfig{Overlap: true, BucketBytes: 8 << 10, Timeline: true, Backend: train.BackendDES})
+}
+
+// Functional-sweep wall-clock: the DES backend's reason to exist. The
+// p=128 pair measures the backend speedup like for like; the p=1024
+// point is the paper-scale sweep that was simply infeasible on
+// goroutine ranks (thousands of live goroutines per collective) and
+// now completes in seconds.
+func benchFuncScale(b *testing.B, p int, backend string) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.FunctionalScalingAt(io.Discard, []int{p}, backend)
+	}
+}
+
+func BenchmarkFuncScaleP128Goroutine(b *testing.B) { benchFuncScale(b, 128, train.BackendGoroutine) }
+func BenchmarkFuncScaleP128DES(b *testing.B)       { benchFuncScale(b, 128, train.BackendDES) }
+func BenchmarkFuncScaleP1024DES(b *testing.B)      { benchFuncScale(b, 1024, train.BackendDES) }
+
 // Tracing-cost variants of BenchmarkDistStepOverlap. TracedOff is the
 // observability PR's zero-cost claim: with no tracer configured the
 // trainer must match BenchmarkDistStepOverlap exactly — same allocs/op,

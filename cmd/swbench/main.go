@@ -2,22 +2,31 @@
 // paper's evaluation section. With no arguments it runs everything;
 // pass artifact names to select a subset.
 //
-//	swbench [-plancache file] [table1 figure2 table2 figure6 figure7
-//	         figure8 figure9 table3 figure10 figure11 funcscale io pack
-//	         gemm allreduce]
+//	swbench [-plancache file] [-p n,n,...] [-backend des|goroutine]
+//	        [table1 figure2 table2 figure6 figure7 figure8 figure9
+//	         table3 figure10 figure11 funcscale io pack gemm allreduce]
 //
 // -plancache names a versioned on-disk plan cache: it is loaded before
 // the generators run (a warm file makes cold starts skip every
 // O(candidates³) tiling search) and written back atomically afterwards.
+//
+// -p and -backend parameterize the funcscale artifact: -p is a
+// comma-separated rank list (e.g. -p 512,1024,4096) and -backend picks
+// the cluster scheduler ("des" for the single-threaded discrete-event
+// backend that makes the paper-scale points feasible, "goroutine" for
+// the concurrent oracle). They apply only to funcscale.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"swcaffe/internal/experiments"
 	"swcaffe/internal/swdnn"
+	"swcaffe/internal/train"
 )
 
 var artifacts = []struct {
@@ -34,7 +43,7 @@ var artifacts = []struct {
 	{"table3", func() { experiments.Table3(os.Stdout) }},
 	{"figure10", func() { experiments.Figure10(os.Stdout) }},
 	{"figure11", func() { experiments.Figure11(os.Stdout) }},
-	{"funcscale", func() { experiments.FunctionalScaling(os.Stdout) }},
+	{"funcscale", runFuncScale},
 	{"io", func() { experiments.IOStriping(os.Stdout) }},
 	{"pack", func() { experiments.PackAblation(os.Stdout) }},
 	{"gemm", func() { experiments.GEMMAblation(os.Stdout) }},
@@ -43,6 +52,40 @@ var artifacts = []struct {
 	{"sum", func() { experiments.SumAblation(os.Stdout) }},
 	{"mapping", func() { experiments.MappingAblation(os.Stdout) }},
 	{"batch", func() { experiments.BatchSweep(os.Stdout) }},
+}
+
+var (
+	rankList = flag.String("p", "", "funcscale: comma-separated rank list (e.g. 512,1024,4096); empty = the default tiers")
+	backend  = flag.String("backend", "", `funcscale: cluster scheduler, "des" or "goroutine" (default goroutine)`)
+)
+
+// runFuncScale dispatches the funcscale artifact: the default tiered
+// sweep, or a single parameterized tier when -p is given.
+func runFuncScale() {
+	if *rankList == "" {
+		if *backend != "" && *backend != train.BackendGoroutine {
+			fmt.Fprintf(os.Stderr, "swbench: -backend %s requires an explicit -p rank list\n", *backend)
+			os.Exit(2)
+		}
+		experiments.FunctionalScaling(os.Stdout)
+		return
+	}
+	var ranks []int
+	for _, part := range strings.Split(*rankList, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || p < 1 {
+			fmt.Fprintf(os.Stderr, "swbench: bad -p entry %q (want a positive rank count)\n", part)
+			os.Exit(2)
+		}
+		ranks = append(ranks, p)
+	}
+	switch *backend {
+	case "", train.BackendGoroutine, train.BackendDES:
+	default:
+		fmt.Fprintf(os.Stderr, "swbench: unknown -backend %q (valid: %q, %q)\n", *backend, train.BackendDES, train.BackendGoroutine)
+		os.Exit(2)
+	}
+	experiments.FunctionalScalingAt(os.Stdout, ranks, *backend)
 }
 
 func main() {

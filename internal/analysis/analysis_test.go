@@ -71,6 +71,7 @@ func TestGoldenDiagnostics(t *testing.T) {
 		prefixes  []string
 	}{
 		{"wallclock.txt", one(Wallclock()), []string{"swcaffe/internal/collective"}},
+		{"des.txt", All(), []string{"swcaffe/internal/des"}},
 		{"rawrand.txt", one(Rawrand()), []string{"swcaffe/internal/topology", "swcaffe/internal/elastic"}},
 		{"maporder.txt", one(Maporder()), []string{"swcaffe/internal/obs"}},
 		{"straygo.txt", one(Straygo()), []string{"swcaffe/internal/train", "swcaffe/internal/swnode", "swcaffe/cmd/tool"}},

@@ -11,6 +11,9 @@ import (
 // else a bare `go` statement is the leak class PR 1 (CPE pool
 // predecessor) and PR 3 (simnet ghost receivers) each fixed once by
 // hand: a goroutine that outlives its Run and corrupts the next one.
+// The discrete-event scheduler (internal/des) is deliberately NOT
+// here: its whole contract is single-threaded execution, so a `go`
+// statement inside it is a finding, not a pooled runtime's business.
 var pooledRuntimes = map[string]bool{
 	"sw26010": true,
 	"swnode":  true,

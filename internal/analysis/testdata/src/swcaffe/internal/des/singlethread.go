@@ -1,0 +1,12 @@
+// Package des is a fixture: the discrete-event scheduler's contract
+// is single-threaded simulated time, so both a host-clock read and a
+// goroutine launch are findings here.
+package des
+
+import "time"
+
+func violations() {
+	_ = time.Now() // finding: simulated-clock package
+	go func() {    // finding: des is not a pooled runtime
+	}()
+}

@@ -13,6 +13,7 @@ import (
 // catch — late.
 var simClockPkgs = map[string]bool{
 	"simnet":     true,
+	"des":        true,
 	"swnode":     true,
 	"collective": true,
 	"allreduce":  true,

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"swcaffe/internal/allreduce"
+	"swcaffe/internal/des"
 	"swcaffe/internal/obs"
 	"swcaffe/internal/simnet"
 	"swcaffe/internal/topology"
@@ -154,15 +155,16 @@ type Engine struct {
 	// anchors this step's flush windows on the cumulative trace
 	// timeline; hierNow/hierClks/clockSnaps capture the hierarchical
 	// schedule's internal phase clocks per rank per flush.
-	tracer       *obs.Tracer
-	tracePid     int
-	traceBase    float64
-	hierNow      [][3]float64   // per-rank phase-entry clocks of the flush in flight
-	hierClks     [][][3]float64 // [bucket][rank] snapshot at Commit
-	hierFull     [][3]float64   // barrier-flush snapshot
-	clockSnaps   [][]float64    // [bucket][rank] finishing clocks at Commit
-	clockFull    []float64
-	prevHierHook func(n *simnet.Node, phase allreduce.HierPhase)
+	tracer          *obs.Tracer
+	tracePid        int
+	traceBase       float64
+	hierNow         [][3]float64   // per-rank phase-entry clocks of the flush in flight
+	hierClks        [][][3]float64 // [bucket][rank] snapshot at Commit
+	hierFull        [][3]float64   // barrier-flush snapshot
+	clockSnaps      [][]float64    // [bucket][rank] finishing clocks at Commit
+	clockFull       []float64
+	prevHierHook    func(n *simnet.Node, phase allreduce.HierPhase)
+	prevHierHookDES func(r *des.Rank, phase allreduce.HierPhase)
 }
 
 // BucketStat is the per-bucket attribution of one committed step: the
@@ -612,7 +614,9 @@ func (e *Engine) SetTrace(tr *obs.Tracer, pid int) {
 	if tr == nil {
 		if e.hierNow != nil {
 			allreduce.SetHierPhaseHook(e.prevHierHook)
+			allreduce.SetHierPhaseHookDES(e.prevHierHookDES)
 			e.prevHierHook = nil
+			e.prevHierHookDES = nil
 			e.hierNow, e.hierClks, e.clockSnaps = nil, nil, nil
 			e.hierFull, e.clockFull = nil, nil
 		}
@@ -645,6 +649,24 @@ func (e *Engine) SetTrace(tr *obs.Tracer, pid int) {
 			}
 			if e.prevHierHook != nil {
 				e.prevHierHook(n, phase)
+			}
+		})
+		// The DES flush path fires the same boundaries through the DES
+		// twin hook; capture into the same hierNow so Commit snapshots
+		// are backend-agnostic.
+		e.prevHierHookDES = allreduce.SetHierPhaseHookDES(func(r *des.Rank, phase allreduce.HierPhase) {
+			if r.Rank < len(e.hierNow) {
+				switch phase {
+				case allreduce.HierIntraReduceScatter:
+					e.hierNow[r.Rank][0] = r.Clock()
+				case allreduce.HierLeaderRHD:
+					e.hierNow[r.Rank][1] = r.Clock()
+				case allreduce.HierAllgather:
+					e.hierNow[r.Rank][2] = r.Clock()
+				}
+			}
+			if e.prevHierHookDES != nil {
+				e.prevHierHookDES(r, phase)
 			}
 		})
 	}

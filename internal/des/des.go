@@ -1,0 +1,497 @@
+// Package des is the single-threaded discrete-event backend of the
+// cluster simulator: the same α+βn cost model and shared-clock rank
+// views as internal/simnet, but ranks run as callback continuations on
+// one binary-heap event queue instead of one goroutine each. A p=4096
+// collective costs zero goroutines, zero channel rendezvous and zero
+// OS scheduling — the refactor that makes paper-scale functional
+// sweeps (p = 1024/4096) feasible in CI.
+//
+// Determinism: events are keyed by (simTime, world rank, seq) with seq
+// a per-run monotonic counter, so ties on the simulated clock break
+// identically on every run and under every GOMAXPROCS. Because the
+// collective bodies form a Kahn process network over per-(src,dst)
+// FIFO links (blocking receives, data-independent control flow), any
+// schedule yields the same floats and clocks — the goroutine backend
+// stays the bit-identity oracle at small p, and this backend must
+// match it hex-exactly.
+//
+// Execution model: a rank's program runs inline until it needs a
+// message; Recv/SendRecv take an explicit continuation and park the
+// rank on the link. Matching a parked waiter with a queued wire always
+// goes through the event heap — never by direct call — so the stack
+// fully unwinds between hops and depth stays bounded by the rank's own
+// comm-free code. At most one waiter can be parked per link (each link
+// has a single fixed receiver and ranks are sequential); two parked
+// waiters on one link is a scheduler invariant violation worth a
+// panic.
+package des
+
+import (
+	"fmt"
+	"sort"
+
+	"swcaffe/internal/topology"
+)
+
+// Cluster couples a network parameter set, a rank mapping and the
+// cluster size for discrete-event collective runs. The fields mirror
+// simnet.Cluster so trainer configuration translates one-to-one.
+type Cluster struct {
+	Net     *topology.Network
+	Mapping topology.Mapping
+	P       int // number of nodes
+
+	// BytesPerElem is the virtual wire size of one payload element
+	// (default 4 = float32), as in simnet.
+	BytesPerElem float64
+
+	// ReduceOnCPE selects the CPE-cluster reduction rate.
+	ReduceOnCPE bool
+}
+
+// NewCluster builds a DES cluster of p nodes.
+func NewCluster(net *topology.Network, mapping topology.Mapping, p int) *Cluster {
+	if p <= 0 {
+		panic("des: cluster size must be positive")
+	}
+	return &Cluster{Net: net, Mapping: mapping, P: p, BytesPerElem: 4}
+}
+
+func (c *Cluster) linkCost(a, b int, elems int) (alpha, transfer float64) {
+	bytes := int64(float64(elems) * c.BytesPerElem)
+	same := topology.SameSupernode(c.Mapping, a, b, c.P)
+	return c.Net.Alpha(bytes), float64(bytes) * c.Net.Beta(same)
+}
+
+type wire struct {
+	data     []float32
+	sendTime float64
+}
+
+// waiter is a rank parked on a link waiting for a wire. sendElems is
+// the outgoing payload size of a SendRecv (-1 for a plain Recv): the
+// full-duplex exchange charges one α+βn for the larger direction, so
+// the cost is resolved only when the incoming wire is known.
+type waiter struct {
+	rank      int // world rank, for the event tie-break key
+	clock     *float64
+	sendElems int
+	k         func([]float32)
+}
+
+// link is one directed (src, dst) FIFO. head indexes the first
+// undelivered wire so delivery is O(1) without reslicing churn.
+type link struct {
+	queue []wire
+	head  int
+	w     *waiter
+}
+
+// event is one scheduled continuation.
+type event struct {
+	time float64
+	rank int
+	seq  int64
+	fn   func()
+}
+
+// eventHeap is a hand-rolled binary min-heap over (time, rank, seq).
+type eventHeap []event
+
+func (h eventHeap) before(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	if a.rank != b.rank {
+		return a.rank < b.rank
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h).before(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = event{} // release the closure
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && (*h).before(l, smallest) {
+			smallest = l
+		}
+		if r < n && (*h).before(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}
+
+// runState is the private state of one RunGather: links, the event
+// heap, and the traffic census (plain ints — the whole run is one
+// goroutine).
+type runState struct {
+	cluster  *Cluster
+	links    map[[2]int]*link
+	heap     eventHeap
+	seq      int64
+	finished int
+	results  [][]float32
+
+	msgs       int64
+	crossMsgs  int64
+	crossBytes int64
+}
+
+func (rs *runState) link(src, dst int) *link {
+	key := [2]int{src, dst}
+	l, ok := rs.links[key]
+	if !ok {
+		l = &link{}
+		rs.links[key] = l
+	}
+	return l
+}
+
+// Rank is the per-rank handle passed to DES collective bodies: the
+// continuation-passing twin of simnet.Node, with the same world/group
+// view semantics (InGroup shares the clock and the world-rank link
+// namespace; group views do not nest).
+type Rank struct {
+	Rank    int
+	cluster *Cluster
+	run     *runState
+	clock   *float64
+	group   []int // nil = world view; else group-rank -> world-rank
+	done    bool
+}
+
+// Clock returns the rank's logical time in seconds.
+func (r *Rank) Clock() float64 { return *r.clock }
+
+// AdvanceClock adds local computation time.
+func (r *Rank) AdvanceClock(dt float64) { *r.clock += dt }
+
+// P returns the communicator size.
+func (r *Rank) P() int {
+	if r.group != nil {
+		return len(r.group)
+	}
+	return r.cluster.P
+}
+
+// WorldRank returns the rank's world-communicator rank.
+func (r *Rank) WorldRank() int { return r.world(r.Rank) }
+
+func (r *Rank) world(x int) int {
+	if r.group != nil {
+		return r.group[x]
+	}
+	return x
+}
+
+// Mapping exposes the cluster's rank-to-supernode mapping.
+func (r *Rank) Mapping() topology.Mapping { return r.cluster.Mapping }
+
+// InGroup returns a sub-communicator view restricted to the ordered
+// world-rank subset ranks, sharing this rank's clock — the exact
+// contract of simnet.Node.InGroup.
+func (r *Rank) InGroup(ranks []int) *Rank {
+	if r.group != nil {
+		panic("des: nested group views are not supported")
+	}
+	idx := -1
+	for i, wr := range ranks {
+		if wr == r.Rank {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic(fmt.Sprintf("des: rank %d not a member of group %v", r.Rank, ranks))
+	}
+	return &Rank{Rank: idx, cluster: r.cluster, run: r.run, clock: r.clock, group: ranks}
+}
+
+func (r *Rank) countMsg(src, dst, elems int) {
+	r.run.msgs++
+	if !topology.SameSupernode(r.cluster.Mapping, src, dst, r.cluster.P) {
+		r.run.crossMsgs++
+		r.run.crossBytes += int64(float64(elems) * r.cluster.BytesPerElem)
+	}
+}
+
+// Send posts data to peer and occupies the sender for the full α+βn,
+// exactly as simnet.Node.Send. It never parks: control returns to the
+// caller inline.
+func (r *Rank) Send(peer int, data []float32) {
+	src, dst := r.WorldRank(), r.world(peer)
+	if dst == src {
+		panic("des: send to self")
+	}
+	alpha, transfer := r.cluster.linkCost(src, dst, len(data))
+	r.countMsg(src, dst, len(data))
+	l := r.run.link(src, dst)
+	l.queue = append(l.queue, wire{data: data, sendTime: *r.clock})
+	*r.clock += alpha + transfer
+	if l.w != nil {
+		r.run.match(src, dst, l)
+	}
+}
+
+// Recv parks the rank until a message from peer arrives, then resumes
+// k with the payload; the clock advances to
+// max(local, remote-send) + α + βn first, as simnet.Node.Recv. Code
+// after a Recv call runs before the continuation — structure rank
+// programs so Recv is a tail call.
+func (r *Rank) Recv(peer int, k func([]float32)) {
+	src, dst := r.world(peer), r.WorldRank()
+	r.park(src, dst, -1, k)
+}
+
+// SendRecv posts sendData to peer and parks for the reply; the
+// full-duplex pair charges one α+βn for the larger direction, as
+// simnet.Node.SendRecv. k receives the peer's payload.
+func (r *Rank) SendRecv(peer int, sendData []float32, k func([]float32)) {
+	src, dst := r.WorldRank(), r.world(peer)
+	if dst == src {
+		panic("des: sendrecv with self")
+	}
+	r.countMsg(src, dst, len(sendData))
+	l := r.run.link(src, dst)
+	l.queue = append(l.queue, wire{data: sendData, sendTime: *r.clock})
+	if l.w != nil {
+		r.run.match(src, dst, l)
+	}
+	r.park(dst, src, len(sendData), k)
+}
+
+func (r *Rank) park(src, dst, sendElems int, k func([]float32)) {
+	l := r.run.link(src, dst)
+	if l.w != nil {
+		panic(fmt.Sprintf("des: second receiver parked on link [%d %d]", src, dst))
+	}
+	l.w = &waiter{rank: r.WorldRank(), clock: r.clock, sendElems: sendElems, k: k}
+	if l.head < len(l.queue) {
+		r.run.match(src, dst, l)
+	}
+}
+
+// match resolves the link's parked waiter against its head wire and
+// schedules the continuation on the heap at the arrival time.
+func (rs *runState) match(src, dst int, l *link) {
+	w := l.w
+	l.w = nil
+	m := l.queue[l.head]
+	l.queue[l.head] = wire{}
+	l.head++
+	if l.head == len(l.queue) {
+		l.queue, l.head = l.queue[:0], 0
+	}
+	elems := len(m.data)
+	if w.sendElems > elems {
+		elems = w.sendElems
+	}
+	alpha, transfer := rs.cluster.linkCost(src, dst, elems)
+	t := *w.clock
+	if m.sendTime > t {
+		t = m.sendTime
+	}
+	// Associate exactly as simnet.Recv does — (start + α) + βn — so
+	// clocks stay bit-identical to the goroutine backend.
+	t = t + alpha + transfer
+	clock, k, data := w.clock, w.k, m.data
+	rs.heap.push(event{time: t, rank: w.rank, seq: rs.seq, fn: func() {
+		*clock = t
+		k(data)
+	}})
+	rs.seq++
+}
+
+// ChargeReduce accounts a local elementwise reduction of elems values,
+// as simnet.Node.ChargeReduce.
+func (r *Rank) ChargeReduce(elems int) {
+	bytes := float64(elems) * r.cluster.BytesPerElem
+	rate := r.cluster.Net.GammaMPE
+	if r.cluster.ReduceOnCPE {
+		rate = r.cluster.Net.GammaCPE
+	}
+	*r.clock += bytes * rate
+}
+
+// Finish records the rank's result and marks its program complete.
+// Every rank body must call it exactly once, on the world view, as its
+// final act (the DES analogue of returning from a RunGather body).
+func (r *Rank) Finish(out []float32) {
+	if r.group != nil {
+		panic("des: Finish called on a group view")
+	}
+	if r.done {
+		panic(fmt.Sprintf("des: rank %d finished twice", r.Rank))
+	}
+	r.done = true
+	r.run.results[r.Rank] = out
+	r.run.finished++
+}
+
+// RankPanic is the panic value RunGather re-raises when a rank's body
+// panics, mirroring simnet.NodePanic: the original value plus the
+// world rank it died on, with the FailedRank method the elastic layer
+// matches on.
+type RankPanic struct {
+	Rank  int
+	Value any
+}
+
+func (p RankPanic) Error() string {
+	return fmt.Sprintf("des: rank panic on rank %d: %v", p.Rank, p.Value)
+}
+
+func (p RankPanic) String() string { return p.Error() }
+
+// FailedRank returns the world rank whose body panicked.
+func (p RankPanic) FailedRank() int { return p.Rank }
+
+// Unwrap exposes the original panic when it was itself an error.
+func (p RankPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Result summarizes one collective run: the same fields and arithmetic
+// as simnet.Result, kept as a separate type so des has no dependency
+// on the goroutine backend.
+type Result struct {
+	Time       float64
+	Clocks     []float64
+	Msgs       int64
+	CrossMsgs  int64
+	CrossBytes int64
+}
+
+// Run executes body on every rank and returns the makespan; the DES
+// analogue of simnet.Cluster.Run for bodies without a gathered result
+// (bodies still call Finish, with nil).
+func (c *Cluster) Run(body func(r *Rank)) Result {
+	res, _ := c.RunGather(body)
+	return res
+}
+
+// RunGather executes body on every rank of a fresh run (zeroed clocks,
+// empty links) and drains the event heap to completion. The body runs
+// rank code inline until the first park; each rank must eventually
+// call Finish with its result. The returned slice is freshly allocated
+// per run. A panic in rank code propagates as RankPanic; the run state
+// is discarded, so the cluster is reusable afterwards — and unlike the
+// goroutine backend, a failed run strands nothing: there are no
+// goroutines to leak.
+func (c *Cluster) RunGather(body func(r *Rank)) (Result, [][]float32) {
+	rs := &runState{
+		cluster: c,
+		links:   make(map[[2]int]*link),
+		results: make([][]float32, c.P),
+	}
+	ranks := make([]*Rank, c.P)
+	for i := range ranks {
+		ranks[i] = &Rank{Rank: i, cluster: c, run: rs, clock: new(float64)}
+	}
+	for _, r := range ranks {
+		seed(r, body)
+	}
+	for len(rs.heap) > 0 {
+		runEvent(rs.heap.pop())
+	}
+	if rs.finished != c.P {
+		panic(fmt.Sprintf("des: deadlock — %d of %d ranks finished, parked waiters on links %v",
+			rs.finished, c.P, rs.parkedLinks()))
+	}
+	// A completed collective must have consumed every message it sent;
+	// iterate the links in sorted key order so the panic is
+	// deterministic.
+	keys := make([][2]int, 0, len(rs.links))
+	for k := range rs.links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		if l := rs.links[k]; l.head < len(l.queue) {
+			panic(fmt.Sprintf("des: unconsumed message on link %v", k))
+		}
+	}
+	res := Result{Clocks: make([]float64, c.P), Msgs: rs.msgs,
+		CrossMsgs: rs.crossMsgs, CrossBytes: rs.crossBytes}
+	for i, r := range ranks {
+		res.Clocks[i] = *r.clock
+		if *r.clock > res.Time {
+			res.Time = *r.clock
+		}
+	}
+	return res, rs.results
+}
+
+// parkedLinks lists the (src, dst) keys with a parked waiter, sorted,
+// for the deadlock diagnostic.
+func (rs *runState) parkedLinks() [][2]int {
+	var parked [][2]int
+	for k, l := range rs.links {
+		if l.w != nil {
+			parked = append(parked, k)
+		}
+	}
+	sort.Slice(parked, func(i, j int) bool {
+		if parked[i][0] != parked[j][0] {
+			return parked[i][0] < parked[j][0]
+		}
+		return parked[i][1] < parked[j][1]
+	})
+	return parked
+}
+
+func seed(r *Rank, body func(r *Rank)) {
+	defer rewrap(r.Rank)
+	body(r)
+}
+
+func runEvent(ev event) {
+	defer rewrap(ev.rank)
+	ev.fn()
+}
+
+// rewrap converts a rank-code panic into RankPanic, preserving an
+// already-wrapped value from a nested frame.
+func rewrap(rank int) {
+	if rec := recover(); rec != nil {
+		if rp, ok := rec.(RankPanic); ok {
+			panic(rp)
+		}
+		panic(RankPanic{Rank: rank, Value: rec})
+	}
+}

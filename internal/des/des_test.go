@@ -1,0 +1,311 @@
+package des
+
+import (
+	"strings"
+	"testing"
+
+	"swcaffe/internal/topology"
+)
+
+func testCluster(p int) *Cluster {
+	net := topology.Sunway()
+	net.SupernodeSize = 4
+	return NewCluster(net, topology.AdjacentMapping{Q: 4}, p)
+}
+
+// TestPingPongClocks pins the Send/Recv clock arithmetic against the
+// cost model directly: a two-rank ping-pong where each leg's arrival
+// time is max(receiver clock, send time) + α + βn.
+func TestPingPongClocks(t *testing.T) {
+	c := testCluster(2)
+	payload := []float32{1, 2, 3, 4}
+	alpha, transfer := c.linkCost(0, 1, len(payload))
+
+	res, outs := c.RunGather(func(r *Rank) {
+		switch r.Rank {
+		case 0:
+			r.Send(1, payload)
+			r.Recv(1, func(data []float32) {
+				r.Finish(data)
+			})
+		case 1:
+			r.Recv(0, func(data []float32) {
+				r.Send(0, data)
+				r.Finish(data)
+			})
+		}
+	})
+
+	// Rank 1's recv starts at max(0, send time 0); its echo send then
+	// advances it to 2(α+βn). Rank 0's recv starts at max(its own clock
+	// after the send, the echo's send time) = α+βn, landing at 2(α+βn).
+	leg := alpha + transfer
+	if got, want := res.Clocks[1], leg+leg; got != want {
+		t.Fatalf("rank 1 clock: got %v want %v", got, want)
+	}
+	if got, want := res.Clocks[0], leg+alpha+transfer; got != want {
+		t.Fatalf("rank 0 clock: got %v want %v", got, want)
+	}
+	if res.Time != res.Clocks[0] {
+		t.Fatalf("makespan %v, want rank 0's clock %v", res.Time, res.Clocks[0])
+	}
+	if res.Msgs != 2 {
+		t.Fatalf("msgs: got %d want 2", res.Msgs)
+	}
+	for _, out := range outs {
+		for i := range out {
+			if out[i] != payload[i] {
+				t.Fatalf("payload corrupted in flight: %v", out)
+			}
+		}
+	}
+}
+
+// TestCrossSupernodeCensus: messages crossing the supernode boundary
+// are counted with their byte volume; intra-supernode ones are not.
+func TestCrossSupernodeCensus(t *testing.T) {
+	c := testCluster(8) // q=4: ranks 0-3 and 4-7 in different supernodes
+	data := make([]float32, 16)
+	_, _ = c.RunGather(func(r *Rank) {
+		defer r.Finish(nil)
+		switch r.Rank {
+		case 0:
+			r.Send(1, data) // intra
+		case 1:
+			r.Recv(0, func([]float32) {})
+		case 2:
+			r.Send(5, data) // cross
+		case 5:
+			r.Recv(2, func([]float32) {})
+		}
+	})
+	// Re-run to read the census (RunGather returns it).
+	res, _ := c.RunGather(func(r *Rank) {
+		defer r.Finish(nil)
+		switch r.Rank {
+		case 0:
+			r.Send(1, data)
+		case 1:
+			r.Recv(0, func([]float32) {})
+		case 2:
+			r.Send(5, data)
+		case 5:
+			r.Recv(2, func([]float32) {})
+		}
+	})
+	if res.Msgs != 2 || res.CrossMsgs != 1 {
+		t.Fatalf("census: msgs=%d crossMsgs=%d, want 2/1", res.Msgs, res.CrossMsgs)
+	}
+	wantBytes := int64(float64(len(data)) * c.BytesPerElem)
+	if res.CrossBytes != wantBytes {
+		t.Fatalf("crossBytes: got %d want %d", res.CrossBytes, wantBytes)
+	}
+}
+
+// TestDeadlockPanics: a rank parked on a message that never comes must
+// surface as a deadlock panic naming the parked link, not a hang.
+func TestDeadlockPanics(t *testing.T) {
+	c := testCluster(2)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected deadlock panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "deadlock") || !strings.Contains(msg, "[1 0]") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	c.Run(func(r *Rank) {
+		if r.Rank == 0 {
+			r.Recv(1, func([]float32) { r.Finish(nil) }) // never sent
+			return
+		}
+		r.Finish(nil)
+	})
+}
+
+// TestUnconsumedWirePanics: a message left queued on a link after every
+// rank finished is a protocol bug the run must refuse to bless.
+func TestUnconsumedWirePanics(t *testing.T) {
+	c := testCluster(2)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected unconsumed-message panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "unconsumed") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	c.Run(func(r *Rank) {
+		if r.Rank == 0 {
+			r.Send(1, []float32{1})
+		}
+		r.Finish(nil)
+	})
+}
+
+// TestRankPanicCarriesRank: a panic inside a rank body (or one of its
+// continuations) is rewrapped as RankPanic so elastic recovery can
+// identify the victim, matching simnet.NodePanic's contract.
+func TestRankPanicCarriesRank(t *testing.T) {
+	c := testCluster(4)
+	defer func() {
+		r := recover()
+		rp, ok := r.(RankPanic)
+		if !ok {
+			t.Fatalf("expected RankPanic, got %T: %v", r, r)
+		}
+		if rp.FailedRank() != 2 {
+			t.Fatalf("failed rank: got %d want 2", rp.FailedRank())
+		}
+		if rp.Value != "boom" {
+			t.Fatalf("panic value: got %v want boom", rp.Value)
+		}
+	}()
+	c.Run(func(r *Rank) {
+		if r.Rank == 2 {
+			panic("boom")
+		}
+		r.Finish(nil)
+	})
+}
+
+// TestContinuationPanicCarriesRank: the rewrap must also catch panics
+// raised inside heap-scheduled continuations, not just the seed call.
+func TestContinuationPanicCarriesRank(t *testing.T) {
+	c := testCluster(2)
+	defer func() {
+		rp, ok := recover().(RankPanic)
+		if !ok || rp.FailedRank() != 1 {
+			t.Fatalf("expected RankPanic from rank 1, got %v", rp)
+		}
+	}()
+	c.Run(func(r *Rank) {
+		if r.Rank == 0 {
+			r.Send(1, []float32{1})
+			r.Finish(nil)
+			return
+		}
+		r.Recv(0, func([]float32) { panic("late") })
+	})
+}
+
+// TestEventHeapTieBreak pins the scheduler's total order directly:
+// events pop by (simTime, world rank, seq), so ties on the simulated
+// clock break by rank and then by scheduling sequence — never by
+// insertion accident.
+func TestEventHeapTieBreak(t *testing.T) {
+	events := []event{
+		{time: 2, rank: 0, seq: 9},
+		{time: 1, rank: 3, seq: 4},
+		{time: 1, rank: 1, seq: 7},
+		{time: 1, rank: 1, seq: 2},
+		{time: 0, rank: 5, seq: 8},
+		{time: 1, rank: 3, seq: 1},
+	}
+	want := []event{
+		{time: 0, rank: 5, seq: 8},
+		{time: 1, rank: 1, seq: 2},
+		{time: 1, rank: 1, seq: 7},
+		{time: 1, rank: 3, seq: 1},
+		{time: 1, rank: 3, seq: 4},
+		{time: 2, rank: 0, seq: 9},
+	}
+	// Every insertion order must yield the same pop order.
+	for shift := 0; shift < len(events); shift++ {
+		var h eventHeap
+		for i := range events {
+			h.push(events[(i+shift)%len(events)])
+		}
+		for i := range want {
+			got := h.pop()
+			if got.time != want[i].time || got.rank != want[i].rank || got.seq != want[i].seq {
+				t.Fatalf("shift %d pop %d: got (%v,%d,%d) want (%v,%d,%d)",
+					shift, i, got.time, got.rank, got.seq, want[i].time, want[i].rank, want[i].seq)
+			}
+		}
+	}
+}
+
+// TestDoubleFinishPanics guards the one-result-per-rank contract.
+func TestDoubleFinishPanics(t *testing.T) {
+	c := testCluster(1)
+	defer func() {
+		r := recover()
+		if rp, ok := r.(RankPanic); !ok || !strings.Contains(rp.Error(), "finished twice") {
+			t.Fatalf("expected finished-twice RankPanic, got %v", r)
+		}
+	}()
+	c.Run(func(r *Rank) {
+		r.Finish(nil)
+		r.Finish(nil)
+	})
+}
+
+// TestInGroupViews: group views share the clock, translate ranks, and
+// refuse nesting and non-members — mirroring simnet.
+func TestInGroupViews(t *testing.T) {
+	c := testCluster(4)
+	c.Run(func(r *Rank) {
+		defer r.Finish(nil)
+		if r.Rank != 1 && r.Rank != 3 {
+			return
+		}
+		g := r.InGroup([]int{1, 3})
+		if g.P() != 2 {
+			t.Errorf("group P: got %d want 2", g.P())
+		}
+		if g.WorldRank() != r.Rank {
+			t.Errorf("world rank: got %d want %d", g.WorldRank(), r.Rank)
+		}
+		wantIdx := 0
+		if r.Rank == 3 {
+			wantIdx = 1
+		}
+		if g.Rank != wantIdx {
+			t.Errorf("group rank: got %d want %d", g.Rank, wantIdx)
+		}
+		g.AdvanceClock(1)
+		if r.Clock() != g.Clock() {
+			t.Errorf("group view does not share the clock")
+		}
+	})
+
+	func() {
+		defer func() {
+			if rp, ok := recover().(RankPanic); !ok || !strings.Contains(rp.Error(), "not a member") {
+				t.Fatalf("expected not-a-member panic")
+			}
+		}()
+		c.Run(func(r *Rank) {
+			if r.Rank == 0 {
+				r.InGroup([]int{1, 2})
+			}
+			r.Finish(nil)
+		})
+	}()
+}
+
+// TestSecondWaiterPanics: the at-most-one-parked-receiver invariant is
+// a scheduler assertion, not silent corruption.
+func TestSecondWaiterPanics(t *testing.T) {
+	c := testCluster(2)
+	defer func() {
+		rp, ok := recover().(RankPanic)
+		if !ok || !strings.Contains(rp.Error(), "second receiver") {
+			t.Fatalf("expected second-receiver panic, got %v", rp)
+		}
+	}()
+	c.Run(func(r *Rank) {
+		if r.Rank == 1 {
+			// Park two receives on the same link without chaining — a
+			// protocol violation the scheduler must catch.
+			r.Recv(0, func([]float32) {})
+			r.Recv(0, func([]float32) {})
+			return
+		}
+		r.Finish(nil)
+	})
+}

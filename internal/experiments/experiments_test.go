@@ -7,6 +7,7 @@ import (
 
 	"swcaffe/internal/sw26010"
 	"swcaffe/internal/swdnn"
+	"swcaffe/internal/train"
 )
 
 func TestTable1MatchesPaper(t *testing.T) {
@@ -290,11 +291,15 @@ func TestFigure10And11Claims(t *testing.T) {
 // the saving persists at every node count.
 func TestFunctionalScalingClaims(t *testing.T) {
 	rows := FunctionalScaling(io.Discard)
-	if len(rows) != 6 {
+	if len(rows) != 8 {
 		t.Fatalf("%d rows", len(rows))
 	}
-	if !rows[len(rows)-1].Timeline || rows[len(rows)-1].Nodes != 128 {
-		t.Fatalf("sweep should end with the timeline-mode p=128 point, got %+v", rows[len(rows)-1])
+	last := rows[len(rows)-1]
+	if last.Backend != train.BackendDES || last.Nodes != 1024 {
+		t.Fatalf("sweep should end with the discrete-event p=1024 point, got %+v", last)
+	}
+	if g := rows[5]; g.Backend == train.BackendDES || !g.Timeline || g.Nodes != 128 {
+		t.Fatalf("goroutine tiers should end with the timeline-mode p=128 point, got %+v", g)
 	}
 	if rows[0].Timeline {
 		t.Fatalf("small node counts should run on pooled nodes, got %+v", rows[0])

@@ -187,6 +187,7 @@ func funcScaleNet(batch, classes int) (*core.Net, map[string]*tensor.Tensor, err
 type FunctionalScalingRow struct {
 	Nodes    int
 	Timeline bool
+	Backend  string // train.BackendDES for event-driven rows, else goroutine
 	Barrier  train.FunctionalPoint
 	Overlap  train.FunctionalPoint
 	Hier     train.FunctionalPoint
@@ -195,7 +196,20 @@ type FunctionalScalingRow struct {
 var (
 	functionalNodeCounts         = []int{2, 4, 8}
 	functionalTimelineNodeCounts = []int{16, 64, 128}
+	// The discrete-event tier: single-threaded event-driven scheduling
+	// makes the paper's machine sizes functional, not just priced. The
+	// goroutine tiers stop at 128 because p live goroutine ranks per
+	// collective stop being fast long before they stop being correct.
+	functionalDESNodeCounts = []int{512, 1024}
 )
+
+// functionalTier is one (rank list, node mode, backend) slice of the
+// functional-scaling sweep.
+type functionalTier struct {
+	nodes    []int
+	timeline bool
+	backend  string
+}
 
 // FunctionalScaling executes the multi-node cluster runtime end to end
 // — every worker's passes as stream launches on its own simulated
@@ -208,6 +222,37 @@ var (
 // and StepStats, no CPE pools) and continues into the
 // hundreds-of-nodes regime.
 func FunctionalScaling(w io.Writer) []FunctionalScalingRow {
+	rows := functionalSweepRows([]functionalTier{
+		{nodes: functionalNodeCounts},
+		{nodes: functionalTimelineNodeCounts, timeline: true},
+		{nodes: functionalDESNodeCounts, timeline: true, backend: train.BackendDES},
+	})
+	printFunctionalTable(w, rows)
+	return rows
+}
+
+// FunctionalScalingAt is the parameterized entry behind `swbench
+// funcscale -p ... -backend ...`: one tier at the caller's rank list
+// and backend. Rank counts past 8 run timeline-only nodes (the CPE
+// pools add nothing to the step decomposition and cap the reachable
+// p); the DES backend implies timeline nodes regardless.
+func FunctionalScalingAt(w io.Writer, ranks []int, backend string) []FunctionalScalingRow {
+	timeline := backend == train.BackendDES
+	for _, p := range ranks {
+		if p > 8 {
+			timeline = true
+		}
+	}
+	rows := functionalSweepRows([]functionalTier{{nodes: ranks, timeline: timeline, backend: backend}})
+	printFunctionalTable(w, rows)
+	return rows
+}
+
+// functionalSweepRows measures every tier's three arms (barrier,
+// overlap, hierarchical-overlap), all arms of all tiers in parallel —
+// each arm is internally deterministic, so the host-side parallelism
+// never touches the modeled numbers.
+func functionalSweepRows(tiers []functionalTier) []FunctionalScalingRow {
 	const classes = 4
 	ds := dataset.NewClusters(4096, classes, 1, 8, 8, 0.35, 77)
 	build := func() (*core.Net, map[string]*tensor.Tensor, error) { return funcScaleNet(8, classes) }
@@ -226,38 +271,37 @@ func FunctionalScaling(w io.Writer) []FunctionalScalingRow {
 	// the schedule actually crosses supernodes at these node counts.
 	hierNet := topology.Sunway()
 	hierNet.SupernodeSize = 2
-	hierCfg := func(timeline bool) train.FunctionalSweepConfig {
-		return train.FunctionalSweepConfig{Overlap: true, Timeline: timeline,
-			AlgorithmName: allreduce.NameHierarchical,
-			Network:       hierNet, Mapping: topology.AdjacentMapping{Q: 2}}
-	}
-	var barrier, overlap, hier, tlBarrier, tlOverlap, tlHier []train.FunctionalPoint
-	parallelFor(6, func(i int) {
-		switch i {
+
+	arms := make([][3][]train.FunctionalPoint, len(tiers))
+	parallelFor(3*len(tiers), func(i int) {
+		ti, arm := i/3, i%3
+		tier := tiers[ti]
+		base := train.FunctionalSweepConfig{Timeline: tier.timeline, Backend: tier.backend}
+		switch arm {
 		case 0:
-			barrier = sweep(train.FunctionalSweepConfig{}, functionalNodeCounts)
+			arms[ti][0] = sweep(base, tier.nodes)
 		case 1:
-			overlap = sweep(train.FunctionalSweepConfig{Overlap: true}, functionalNodeCounts)
+			base.Overlap = true
+			arms[ti][1] = sweep(base, tier.nodes)
 		case 2:
-			hier = sweep(hierCfg(false), functionalNodeCounts)
-		case 3:
-			tlBarrier = sweep(train.FunctionalSweepConfig{Timeline: true}, functionalTimelineNodeCounts)
-		case 4:
-			tlOverlap = sweep(train.FunctionalSweepConfig{Overlap: true, Timeline: true}, functionalTimelineNodeCounts)
-		case 5:
-			tlHier = sweep(hierCfg(true), functionalTimelineNodeCounts)
+			base.Overlap = true
+			base.AlgorithmName = allreduce.NameHierarchical
+			base.Network, base.Mapping = hierNet, topology.AdjacentMapping{Q: 2}
+			arms[ti][2] = sweep(base, tier.nodes)
 		}
 	})
 
-	rows := make([]FunctionalScalingRow, 0, len(functionalNodeCounts)+len(functionalTimelineNodeCounts))
-	for i, p := range functionalNodeCounts {
-		rows = append(rows, FunctionalScalingRow{Nodes: p, Barrier: barrier[i], Overlap: overlap[i], Hier: hier[i]})
+	var rows []FunctionalScalingRow
+	for ti, tier := range tiers {
+		for i, p := range tier.nodes {
+			rows = append(rows, FunctionalScalingRow{Nodes: p, Timeline: tier.timeline, Backend: tier.backend,
+				Barrier: arms[ti][0][i], Overlap: arms[ti][1][i], Hier: arms[ti][2][i]})
+		}
 	}
-	for i, p := range functionalTimelineNodeCounts {
-		rows = append(rows, FunctionalScalingRow{Nodes: p, Timeline: true,
-			Barrier: tlBarrier[i], Overlap: tlOverlap[i], Hier: tlHier[i]})
-	}
+	return rows
+}
 
+func printFunctionalTable(w io.Writer, rows []FunctionalScalingRow) {
 	section(w, "Functional scaling: cluster runtime on simulated swnode.Nodes (measured, not priced)")
 	tw := newTab(w)
 	fmt.Fprintln(tw, "nodes\tmode\tbarrier step\tbarrier exposed\toverlap step\toverlap exposed\toverlap speedup\thier step (q=2 adj)\thier exposed")
@@ -271,12 +315,14 @@ func FunctionalScaling(w io.Writer) []FunctionalScalingRow {
 		if r.Timeline {
 			mode = "timeline"
 		}
+		if r.Backend == train.BackendDES {
+			mode = "des"
+		}
 		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%s\t%.3fx\t%s\t%s\n", r.Nodes, mode,
 			fmtTime(b.StepTime), fmtTime(b.Exposed), fmtTime(o.StepTime), fmtTime(o.Exposed), gain,
 			fmtTime(h.StepTime), fmtTime(h.Exposed))
 	}
 	tw.Flush()
-	return rows
 }
 
 func shortName(model string) string {

@@ -59,8 +59,30 @@ func NewTimelineCluster(p int, m *sw26010.Model) *Cluster {
 	return c
 }
 
+// NewDESCluster builds p inline-execution timeline nodes for the
+// discrete-event backend (see NewDESNode): the full stream/event/
+// scheduler semantics and per-node modeled timelines with zero
+// goroutines anywhere — launches run inline on the driver, which is
+// what lets functional sweeps reach p = 1024/4096.
+func NewDESCluster(p int, m *sw26010.Model) *Cluster {
+	if p <= 0 {
+		panic(fmt.Sprintf("swnode: cluster size %d must be positive", p))
+	}
+	if m == nil {
+		m = sw26010.Default()
+	}
+	c := &Cluster{nodes: make([]*Node, p)}
+	for i := range c.nodes {
+		c.nodes[i] = NewDESNode(m)
+	}
+	return c
+}
+
 // Timeline reports whether the cluster's nodes are timeline-only.
 func (c *Cluster) Timeline() bool { return c.nodes[0].Timeline() }
+
+// DES reports whether the cluster's nodes run launches inline.
+func (c *Cluster) DES() bool { return c.nodes[0].DES() }
 
 // Size returns the number of nodes.
 func (c *Cluster) Size() int { return len(c.nodes) }

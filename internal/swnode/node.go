@@ -39,6 +39,7 @@ type Node struct {
 
 	cgs      [sw26010.CoreGroups]*sw26010.CoreGroup
 	timeline bool // no CoreGroups: LaunchFunc-only, DAG timeline intact
+	des      bool // timeline node that runs launches inline (no goroutines)
 
 	mu       sync.Mutex
 	load     [sw26010.CoreGroups]float64 // cumulative scheduling weight per CG
@@ -90,9 +91,26 @@ func NewTimelineNode(m *sw26010.Model) *Node {
 	return n
 }
 
+// NewDESNode builds a timeline-only node for the discrete-event
+// backend: identical stream/event/scheduler semantics and modeled
+// timeline as NewTimelineNode, but every launch executes inline on the
+// submitting goroutine instead of on a launch goroutine. Valid because
+// DES-mode launches are only submitted from one single-threaded
+// driver, so every dependency's done channel is already closed when a
+// launch is placed — the DAG resolves in submission order. A p = 4096
+// sweep therefore costs zero goroutines on the compute side too.
+func NewDESNode(m *sw26010.Model) *Node {
+	n := NewTimelineNode(m)
+	n.des = true
+	return n
+}
+
 // Timeline reports whether this is a timeline-only node (no CPE
 // pools; LaunchFunc-only).
 func (n *Node) Timeline() bool { return n.timeline }
+
+// DES reports whether this node runs launches inline (see NewDESNode).
+func (n *Node) DES() bool { return n.des }
 
 // CG returns CoreGroup i (0..3) for direct, synchronous use. Panics
 // on a timeline-only node, which has no CoreGroups.

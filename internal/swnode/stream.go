@@ -160,6 +160,13 @@ func (s *Stream) launch(weight float64, exec func(e *Event) float64, deps []*Eve
 	s.mu.Unlock()
 
 	waits = append(waits, deps...)
+	if n.des {
+		// DES node: everything this launch could wait on already ran
+		// inline (single-threaded submission), so the DAG resolves here
+		// and now — run synchronously, spawn nothing.
+		e.run(exec, cgPrev, waits)
+		return e
+	}
 	go e.run(exec, cgPrev, waits)
 	return e
 }

@@ -6,6 +6,7 @@ import (
 
 	"swcaffe/internal/core"
 	"swcaffe/internal/dataset"
+	"swcaffe/internal/des"
 	"swcaffe/internal/elastic"
 	"swcaffe/internal/obs"
 	"swcaffe/internal/simnet"
@@ -206,6 +207,10 @@ func (t *DistTrainer) Shrink(failed ...int) error {
 	// can reach the new world.
 	t.cluster = simnet.NewCluster(t.cfg.Network, t.cfg.Mapping, t.cfg.Nodes)
 	t.cluster.ReduceOnCPE = true
+	if t.desCluster != nil {
+		t.desCluster = des.NewCluster(t.cfg.Network, t.cfg.Mapping, t.cfg.Nodes)
+		t.desCluster.ReduceOnCPE = true
+	}
 
 	// Discard the engine: bucket alignment and the plan selection both
 	// depend on p. The stranded ranks above may still read the old

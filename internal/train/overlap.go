@@ -155,9 +155,15 @@ func (t *DistTrainer) stepOverlap() float32 {
 			// (see RunGather) and are committed to the reused staging only
 			// on the clean path, so a rank stranded by a failed collective
 			// can never write into a recovered trainer's next Step.
-			res, outs := t.cluster.RunGather(func(n *simnet.Node) []float32 {
-				return eng.ReduceSeg(n, b, views[n.Rank])
-			})
+			var res simnet.Result
+			var outs [][]float32
+			if t.desCluster != nil {
+				res, outs = eng.FlushSegDES(t.desCluster, b)
+			} else {
+				res, outs = t.cluster.RunGather(func(n *simnet.Node) []float32 {
+					return eng.ReduceSeg(n, b, views[n.Rank])
+				})
+			}
 			eng.Commit(b, outs, res)
 		}
 		return nil

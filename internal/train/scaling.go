@@ -254,6 +254,12 @@ type FunctionalSweepConfig struct {
 	// runtime at p in the hundreds; numerics and modeled StepStats are
 	// bit-identical to the pooled nodes.
 	Timeline bool
+
+	// Backend selects the execution backend per DistConfig.Backend:
+	// BackendDES runs the sweep on the single-threaded discrete-event
+	// backend (implies timeline node semantics), which is what makes
+	// p = 1024/4096 points feasible.
+	Backend string
 }
 
 // FunctionalSweep runs the cluster runtime end to end at each node
@@ -274,6 +280,7 @@ func FunctionalSweep(build func() (*core.Net, map[string]*tensor.Tensor, error),
 			Overlap: cfg.Overlap, BucketBytes: cfg.BucketBytes, AutoBucket: cfg.AutoBucket,
 			Algorithm: cfg.Algorithm, AlgorithmName: cfg.AlgorithmName,
 			Network: cfg.Network, Mapping: cfg.Mapping, Timeline: cfg.Timeline,
+			Backend: cfg.Backend,
 		}, build)
 		if err != nil {
 			return StepStats{}, nil, 0, err

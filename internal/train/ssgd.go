@@ -9,6 +9,7 @@ import (
 	"swcaffe/internal/collective"
 	"swcaffe/internal/core"
 	"swcaffe/internal/dataset"
+	"swcaffe/internal/des"
 	"swcaffe/internal/elastic"
 	"swcaffe/internal/obs"
 	"swcaffe/internal/perf"
@@ -96,6 +97,20 @@ type DistConfig struct {
 	// hundreds. Ignored when HostMath is set.
 	Timeline bool
 
+	// Backend selects the execution backend. "" or BackendGoroutine
+	// (the default) is the goroutine simulator pair: one goroutine per
+	// simnet rank, launch goroutines on the swnode side. BackendDES is
+	// the single-threaded discrete-event backend: collectives run as
+	// continuation events on one binary-heap queue (internal/des) and
+	// passes execute inline on DES timeline nodes — zero goroutines,
+	// which is what makes p = 1024/4096 sweeps feasible. The DES
+	// backend is bit-identical to the goroutine backend (losses,
+	// params, StepStats, traffic census — the race-enabled goldens pin
+	// it at p ≤ 128) and implies timeline node mode; it rejects
+	// HostMath, fault injection and custom Algorithm bodies — the
+	// goroutine backend stays authoritative for those.
+	Backend string
+
 	// HostMath disables the per-worker simulated nodes: passes run as
 	// plain host goroutines and the compute leg of StepStats comes from
 	// the priced timeline alone (the pre-cluster-runtime behavior).
@@ -131,6 +146,12 @@ type DistConfig struct {
 	HistorySize int
 }
 
+// Backend names for DistConfig.Backend.
+const (
+	BackendGoroutine = "goroutine"
+	BackendDES       = "des"
+)
+
 // DefaultBucketBytes is the overlapped trainer's fixed bucket cap
 // when auto-selection is off (re-exported from the collective
 // engine): large enough to amortize the per-collective latency, small
@@ -149,6 +170,11 @@ type DistTrainer struct {
 	Workers []*Worker
 	cluster *simnet.Cluster
 	nodes   *swnode.Cluster // nil in HostMath mode
+
+	// desCluster is the discrete-event communicator (nil unless
+	// cfg.Backend is BackendDES); when set, both step variants flush
+	// through the engine's DES path instead of cluster.RunGather.
+	desCluster *des.Cluster
 
 	// CommTime accumulates simulated all-reduce time.
 	CommTime float64
@@ -292,12 +318,34 @@ func NewDistTrainer(cfg DistConfig, buildNet func() (*core.Net, map[string]*tens
 			}
 		}
 	}
+	switch cfg.Backend {
+	case "", BackendGoroutine:
+	case BackendDES:
+		if cfg.HostMath {
+			return nil, fmt.Errorf("train: backend %q is incompatible with HostMath", cfg.Backend)
+		}
+		if cfg.Faults != nil {
+			return nil, fmt.Errorf("train: backend %q does not support fault injection — the goroutine backend is the failure oracle", cfg.Backend)
+		}
+		if cfg.Algorithm != nil {
+			return nil, fmt.Errorf("train: backend %q cannot run custom algorithm bodies (they are blocking functions)", cfg.Backend)
+		}
+	default:
+		return nil, fmt.Errorf("train: unknown backend %q (valid: %q, %q)", cfg.Backend, BackendGoroutine, BackendDES)
+	}
 	t := &DistTrainer{cfg: cfg, cluster: simnet.NewCluster(cfg.Network, cfg.Mapping, cfg.Nodes)}
 	t.cluster.ReduceOnCPE = true
+	if cfg.Backend == BackendDES {
+		t.desCluster = des.NewCluster(cfg.Network, cfg.Mapping, cfg.Nodes)
+		t.desCluster.ReduceOnCPE = true
+	}
 	if !cfg.HostMath {
-		if cfg.Timeline {
+		switch {
+		case cfg.Backend == BackendDES:
+			t.nodes = swnode.NewDESCluster(cfg.Nodes, nil)
+		case cfg.Timeline:
 			t.nodes = swnode.NewTimelineCluster(cfg.Nodes, nil)
-		} else {
+		default:
 			t.nodes = swnode.NewCluster(cfg.Nodes, nil)
 		}
 		if cfg.Tracer != nil {
@@ -440,6 +488,30 @@ func (t *DistTrainer) launchPasses(watch bool, pass func(i int, w *Worker, tick 
 			})
 		}
 		var fc chan any
+		if watch && t.nodes.DES() {
+			// DES nodes ran every pass inline during the launch loop
+			// above, so a failure — impossible today, since the DES
+			// backend rejects fault plans, but kept symmetric — is
+			// already known: surface it synchronously, no watcher
+			// goroutine.
+			fc = make(chan any, 1)
+			var first any
+			for _, w := range t.Workers {
+				e := w.lastEv
+				func() {
+					defer func() {
+						if r := recover(); r != nil && first == nil {
+							first = r
+						}
+					}()
+					e.Wait()
+				}()
+			}
+			if first != nil {
+				fc <- first
+			}
+			return t.nodes.Sync, fc
+		}
 		if watch {
 			// Snapshot the events: the watcher can outlive this Step, and
 			// the next Step overwrites each worker's lastEv.
@@ -616,6 +688,9 @@ func (t *DistTrainer) stepBarrier() float32 {
 				panic(r)
 			}
 		}()
+		if t.desCluster != nil {
+			return eng.FlushFullDES(t.desCluster)
+		}
 		return t.cluster.RunGather(func(n *simnet.Node) []float32 {
 			return eng.ReduceFull(n, views[n.Rank])
 		})

@@ -2,8 +2,16 @@
 # bench.sh — benchmark regression harness. Runs the key simulator /
 # planner / trainer benchmarks with -benchmem, runs the simulated-time
 # invariance test, and writes the results as JSON (default
-# BENCH_PR7.json) extending the perf trajectory that future PRs are
-# judged against. PR 7 adds the tracing-cost variants —
+# BENCH_PR9.json) extending the perf trajectory that future PRs are
+# judged against. PR 9 adds the discrete-event backend columns:
+# DistStepBarrierDES/DistStepOverlapDES (the same step on the
+# single-threaded event heap — modeled-us/step must stay bit-identical
+# at 676.8/636.7, host cost is what changes) and the functional-sweep
+# wall-clock trio FuncScaleP128Goroutine / FuncScaleP128DES /
+# FuncScaleP1024DES (like-for-like backend speedup at p=128, plus the
+# paper-scale p=1024 point that goroutine ranks could not reach; run
+# once each — a sweep is its own repetition). PR 7 added the
+# tracing-cost variants —
 # DistStepTracedOff (no tracer configured: must match DistStepOverlap
 # exactly, proving the nil-guarded trace call sites are free) and
 # DistStepTracedOn (a live Tracer capturing spans: host cost only; the
@@ -30,9 +38,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR7.json}"
+OUT="${1:-BENCH_PR9.json}"
 BENCHTIME="${2:-1s}"
-PATTERN='^(BenchmarkSimGEMM64|BenchmarkSimGEMM128|BenchmarkSimGEMMRagged|BenchmarkSimConvExplicit|BenchmarkConvPlanSelection|BenchmarkGEMMPlanWarm|BenchmarkGEMMPlanCold|BenchmarkTable2|BenchmarkSolverUpdate|BenchmarkAllreducePack|BenchmarkAllreduceScale|BenchmarkDistStepBarrier|BenchmarkDistStepOverlap|BenchmarkDistStepBarrierHostMath|BenchmarkDistStepOverlapHostMath|BenchmarkDistStepOverlapFixedDefault|BenchmarkDistStepOverlapAuto|BenchmarkDistStepBarrierRing|BenchmarkDistStepOverlapRingFixedDefault|BenchmarkDistStepOverlapRingAuto|BenchmarkDistStepBarrierHier|BenchmarkDistStepOverlapHierFixedDefault|BenchmarkDistStepOverlapHierAuto|BenchmarkDistStepOverlapAlgAuto|BenchmarkDistStepOverlapTimeline|BenchmarkDistStepTracedOff|BenchmarkDistStepTracedOn|BenchmarkCGTrainerStep|BenchmarkCheckpointSave|BenchmarkCheckpointRestore|BenchmarkShrinkRecovery)$'
+PATTERN='^(BenchmarkSimGEMM64|BenchmarkSimGEMM128|BenchmarkSimGEMMRagged|BenchmarkSimConvExplicit|BenchmarkConvPlanSelection|BenchmarkGEMMPlanWarm|BenchmarkGEMMPlanCold|BenchmarkTable2|BenchmarkSolverUpdate|BenchmarkAllreducePack|BenchmarkAllreduceScale|BenchmarkDistStepBarrier|BenchmarkDistStepOverlap|BenchmarkDistStepBarrierHostMath|BenchmarkDistStepOverlapHostMath|BenchmarkDistStepOverlapFixedDefault|BenchmarkDistStepOverlapAuto|BenchmarkDistStepBarrierRing|BenchmarkDistStepOverlapRingFixedDefault|BenchmarkDistStepOverlapRingAuto|BenchmarkDistStepBarrierHier|BenchmarkDistStepOverlapHierFixedDefault|BenchmarkDistStepOverlapHierAuto|BenchmarkDistStepOverlapAlgAuto|BenchmarkDistStepOverlapTimeline|BenchmarkDistStepTracedOff|BenchmarkDistStepTracedOn|BenchmarkDistStepBarrierDES|BenchmarkDistStepOverlapDES|BenchmarkCGTrainerStep|BenchmarkCheckpointSave|BenchmarkCheckpointRestore|BenchmarkShrinkRecovery)$'
+# Sweep wall-clock columns run once each regardless of BENCHTIME: one
+# functional sweep is seconds of work and its own repetition.
+SWEEP_PATTERN='^(BenchmarkFuncScaleP128Goroutine|BenchmarkFuncScaleP128DES|BenchmarkFuncScaleP1024DES)$'
 
 echo "== running invariance check (simulated times must match golden) =="
 if go test ./internal/swdnn/ -run 'TestEngineInvariance|TestEngineDeterminism' -count=1 >/dev/null 2>&1; then
@@ -45,6 +56,12 @@ echo "invariance: $INVARIANCE"
 echo "== running benchmarks (benchtime $BENCHTIME) =="
 RAW="$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count 1 .)"
 echo "$RAW"
+
+echo "== running sweep wall-clock benchmarks (benchtime 1x) =="
+SWEEP_RAW="$(go test -run '^$' -bench "$SWEEP_PATTERN" -benchmem -benchtime 1x -count 1 .)"
+echo "$SWEEP_RAW"
+RAW="$RAW
+$SWEEP_RAW"
 
 echo "$RAW" | awk -v invariance="$INVARIANCE" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 /^Benchmark/ {
@@ -65,7 +82,7 @@ echo "$RAW" | awk -v invariance="$INVARIANCE" -v date="$(date -u +%Y-%m-%dT%H:%M
 }
 END {
     printf "{\n"
-    printf "  \"pr\": 7,\n"
+    printf "  \"pr\": 9,\n"
     printf "  \"date\": \"%s\",\n", date
     printf "  \"invariance\": \"%s\",\n", invariance
     printf "  \"benchmarks\": {\n"
@@ -80,7 +97,7 @@ END {
     }
     printf "  },\n"
     printf "  \"pr4_reference\": {\n"
-    printf "    \"comment\": \"PR-4 numbers live in BENCH_PR4.json; DistStep modeled-us/step must be unchanged (676.8 barrier / 636.7 overlap) — the tracing layer (PR 7), like the elastic fault machinery (PR 6) and the hierarchical strategy (PR 5), costs nothing when disabled\",\n"
+    printf "    \"comment\": \"PR-4 numbers live in BENCH_PR4.json; DistStep modeled-us/step must be unchanged (676.8 barrier / 636.7 overlap) — the DES backend (PR 9), like the tracing layer (PR 7), the elastic fault machinery (PR 6) and the hierarchical strategy (PR 5), costs nothing when disabled, and the DES variants must report the same modeled numbers\",\n"
     printf "    \"BenchmarkDistStepBarrier\": {\"modeled_us_step\": 676.8, \"exposed_comm_us_step\": 79.4},\n"
     printf "    \"BenchmarkDistStepOverlapAuto\": {\"modeled_us_step\": 636.7, \"exposed_comm_us_step\": 39.3}\n"
     printf "  }\n"
