@@ -21,6 +21,7 @@ import (
 	"swcaffe/internal/elastic"
 	"swcaffe/internal/experiments"
 	"swcaffe/internal/obs"
+	"swcaffe/internal/pario"
 	"swcaffe/internal/sw26010"
 	"swcaffe/internal/swdnn"
 	"swcaffe/internal/tensor"
@@ -326,6 +327,10 @@ func benchDistTrainer(b *testing.B, cfg train.DistConfig) {
 	}
 	b.ReportMetric(d.LastStep.StepTime*1e6, "modeled-us/step")
 	b.ReportMetric(d.LastStep.Exposed*1e6, "exposed-comm-us/step")
+	if cfg.IO != nil {
+		b.ReportMetric(d.LastStep.IO*1e6, "io-us/step")
+		b.ReportMetric(d.LastStep.ExposedIO*1e6, "exposed-io-us/step")
+	}
 }
 
 // DistStep runs the multi-node cluster runtime: every worker's passes
@@ -357,6 +362,21 @@ func BenchmarkDistStepOverlapFixedDefault(b *testing.B) {
 
 func BenchmarkDistStepOverlapAuto(b *testing.B) {
 	benchDistTrainer(b, train.DistConfig{Overlap: true, AutoBucket: true})
+}
+
+// Input-pipeline variants: the same auto-bucketed overlap step with the
+// per-rank shard read priced through the pario model (1 MB/shard, 4
+// concurrent readers). The acceptance bar of the input-pipeline PR is
+// that the AutoStripe variant reports (near-)zero modeled exposed I/O
+// while the single-split variant pays the read past the step.
+func BenchmarkDistStepOverlapIOStripe1(b *testing.B) {
+	benchDistTrainer(b, train.DistConfig{Overlap: true, AutoBucket: true,
+		IO: &train.IOConfig{Storage: pario.DefaultTaihuLight(1), BatchBytes: 1 << 20}})
+}
+
+func BenchmarkDistStepOverlapIOAuto(b *testing.B) {
+	benchDistTrainer(b, train.DistConfig{Overlap: true, AutoBucket: true,
+		IO: &train.IOConfig{Storage: pario.DefaultTaihuLight(1), BatchBytes: 1 << 20, AutoStripe: true}})
 }
 
 func BenchmarkDistStepBarrierRing(b *testing.B) {

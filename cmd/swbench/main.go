@@ -2,7 +2,7 @@
 // paper's evaluation section. With no arguments it runs everything;
 // pass artifact names to select a subset.
 //
-//	swbench [-plancache file] [-p n,n,...] [-backend des|goroutine]
+//	swbench [-plancache file] [-p n,n,...] [-backend des|goroutine] [-io]
 //	        [table1 figure2 table2 figure6 figure7 figure8 figure9
 //	         table3 figure10 figure11 funcscale io pack gemm allreduce]
 //
@@ -10,11 +10,14 @@
 // the generators run (a warm file makes cold starts skip every
 // O(candidates³) tiling search) and written back atomically afterwards.
 //
-// -p and -backend parameterize the funcscale artifact: -p is a
-// comma-separated rank list (e.g. -p 512,1024,4096) and -backend picks
+// -p, -backend and -io parameterize the funcscale artifact: -p is a
+// comma-separated rank list (e.g. -p 512,1024,4096), -backend picks
 // the cluster scheduler ("des" for the single-threaded discrete-event
 // backend that makes the paper-scale points feasible, "goroutine" for
-// the concurrent oracle). They apply only to funcscale.
+// the concurrent oracle), and -io appends the input-pipeline sweep
+// (shard reads priced through the pario model at p concurrent readers,
+// prefetch attached, single-split layout vs the stripe advisor's
+// pick). They apply only to funcscale.
 package main
 
 import (
@@ -57,7 +60,12 @@ var artifacts = []struct {
 var (
 	rankList = flag.String("p", "", "funcscale: comma-separated rank list (e.g. 512,1024,4096); empty = the default tiers")
 	backend  = flag.String("backend", "", `funcscale: cluster scheduler, "des" or "goroutine" (default goroutine)`)
+	ioPipe   = flag.Bool("io", false, "funcscale: add the input-pipeline sweep (priced prefetch reads, single-split vs stripe advisor)")
 )
+
+// funcScaleIORanks is the default rank list of the -io sweep: the
+// goroutine tier plus the p = 128 contention point of the CI smoke.
+var funcScaleIORanks = []int{4, 8, 128}
 
 // runFuncScale dispatches the funcscale artifact: the default tiered
 // sweep, or a single parameterized tier when -p is given.
@@ -68,6 +76,9 @@ func runFuncScale() {
 			os.Exit(2)
 		}
 		experiments.FunctionalScaling(os.Stdout)
+		if *ioPipe {
+			experiments.FunctionalScalingIO(os.Stdout, funcScaleIORanks, *backend)
+		}
 		return
 	}
 	var ranks []int
@@ -86,6 +97,9 @@ func runFuncScale() {
 		os.Exit(2)
 	}
 	experiments.FunctionalScalingAt(os.Stdout, ranks, *backend)
+	if *ioPipe {
+		experiments.FunctionalScalingIO(os.Stdout, ranks, *backend)
+	}
 }
 
 func main() {

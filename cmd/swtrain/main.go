@@ -19,6 +19,7 @@ import (
 	"swcaffe/internal/elastic"
 	"swcaffe/internal/netdef"
 	"swcaffe/internal/obs"
+	"swcaffe/internal/pario"
 	"swcaffe/internal/swdnn"
 	"swcaffe/internal/tensor"
 	"swcaffe/internal/topology"
@@ -72,6 +73,9 @@ func main() {
 	showMetrics := flag.Bool("metrics", false, "multi-node: print the deterministic metrics snapshot (sorted name/value lines) after training")
 	explainPlan := flag.Bool("explain-plan", false, "multi-node: print the collective engine's plan audit — the selector's candidate sweep and the last step's per-bucket priced vs realized costs")
 	qSize := flag.Int("q", 0, "multi-node: override the supernode size q (0 = TaihuLight's 256); a small q makes small runs cross supernode links, e.g. -q 4 -nodes 8 -alg hier")
+	ioPipe := flag.Bool("io", false, "enable the input pipeline: shard reads prefetched on a dedicated I/O thread and priced through the pario striped-storage model (p concurrent readers multi-node, 1 with -cg4); exposed read time joins the step report")
+	stripeCount := flag.Int("stripes", 0, "with -io: dataset stripe count on the 32 disk arrays (0 = multi-node stripe advisor picks it; -cg4 defaults to single-split)")
+	ioBatchKB := flag.Int("io-batch-kb", 0, "with -io: modeled mini-batch bytes per reader in KB (0 = the actual input tensor size)")
 	flag.Parse()
 
 	// Validate -alg up front: an unknown name lists the registry
@@ -88,6 +92,14 @@ func main() {
 	obsUsed := *traceOut != "" || *showMetrics || *explainPlan || *qSize > 0
 	if (elasticUsed || obsUsed) && (*cg4 || *nodes == 1) {
 		fmt.Fprintln(os.Stderr, "swtrain: -checkpoint-dir/-checkpoint-every/-resume/-faultplan/-trace/-metrics/-explain-plan/-q are multi-node flags")
+		os.Exit(2)
+	}
+	if !*ioPipe && (*stripeCount != 0 || *ioBatchKB != 0) {
+		fmt.Fprintln(os.Stderr, "swtrain: -stripes/-io-batch-kb need -io")
+		os.Exit(2)
+	}
+	if *ioPipe && *nodes == 1 && !*cg4 {
+		fmt.Fprintln(os.Stderr, "swtrain: -io needs a trainer with an input pipeline (-cg4 or -nodes > 1)")
 		os.Exit(2)
 	}
 	var faults *elastic.FaultPlan
@@ -147,13 +159,29 @@ func main() {
 		}
 		defer trainer.Close()
 		quarter := trainer.CGs[0].Data.N
+		if *ioPipe {
+			// One node reads alone, so the advisor has nothing to arbitrate:
+			// -stripes 0 means the paper's default single-split layout here.
+			s := *stripeCount
+			if s <= 0 {
+				s = 1
+			}
+			trainer.AttachInput(ds, pario.DefaultTaihuLight(s))
+		}
 		for it := 0; it < *iters; it++ {
-			for i, w := range trainer.CGs {
-				dataset.Batch(ds, (it*4+i)*quarter, w.Data, w.Labels)
+			if !*ioPipe {
+				for i, w := range trainer.CGs {
+					dataset.Batch(ds, (it*4+i)*quarter, w.Data, w.Labels)
+				}
 			}
 			loss := trainer.Step()
 			if it%20 == 0 || it == *iters-1 {
-				fmt.Printf("iter %4d  loss %.4f  (modeled node time so far %.4fs)\n", it, loss, trainer.SimTime)
+				if *ioPipe {
+					fmt.Printf("iter %4d  loss %.4f  (modeled node time so far %.4fs; batch read %.2fus, %.2fus exposed)\n",
+						it, loss, trainer.SimTime, trainer.LastRead*1e6, trainer.LastExposedRead*1e6)
+				} else {
+					fmt.Printf("iter %4d  loss %.4f  (modeled node time so far %.4fs)\n", it, loss, trainer.SimTime)
+				}
 			}
 		}
 		w := trainer.CGs[0]
@@ -162,6 +190,10 @@ func main() {
 			evalAccuracy(w.Net, map[string]*tensor.Tensor{"data": w.Data, "label": w.Labels}, ds, quarter)*100)
 		fmt.Printf("4 simulated CGs: modeled step time total %.4fs, %.0f MFlops summed on the meshes\n",
 			trainer.SimTime, st.Flops/1e6)
+		if *ioPipe {
+			fmt.Printf("input pipeline: modeled read total %.4fs, exposed %.4fs (single reader)\n",
+				trainer.ReadTime, trainer.ExposedReadTime)
+		}
 		return
 	}
 
@@ -194,17 +226,32 @@ func main() {
 		tracer = obs.New()
 	}
 
+	var ioCfg *train.IOConfig
+	if *ioPipe {
+		s := *stripeCount
+		if s <= 0 {
+			s = 1
+		}
+		ioCfg = &train.IOConfig{
+			Storage:    pario.DefaultTaihuLight(s),
+			AutoStripe: *stripeCount == 0,
+			BatchBytes: int64(*ioBatchKB) << 10,
+		}
+	}
 	trainer, err := train.NewDistTrainer(train.DistConfig{
 		Nodes: *nodes, SubBatch: *batch, Solver: solverCfg,
 		Overlap: *overlap, BucketBytes: *bucketKB << 10, AutoBucket: *autoBucket,
 		AlgorithmName: *alg, HostMath: *hostMath, Timeline: *timeline,
-		Network: network, Faults: faults, Tracer: tracer,
+		Network: network, Faults: faults, Tracer: tracer, IO: ioCfg,
 	}, build)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	defer trainer.Close()
+	if *ioPipe {
+		trainer.AttachInput(ds)
+	}
 	if *resume != "" {
 		st, err := elastic.Load(*resume)
 		if err != nil {
@@ -301,6 +348,15 @@ func main() {
 	if !*hostMath {
 		fmt.Printf("cluster runtime: %d simulated nodes, modeled compute %.4fs, node-timeline frontier %.4fs, %d launches on rank 0\n",
 			len(trainer.Workers), trainer.ComputeTime, trainer.Node(0).SimTime(), trainer.Node(0).Launches())
+	}
+	if *ioPipe {
+		storage, readers, ioBytes := trainer.IOStorage()
+		layout := fmt.Sprintf("stripes=%d", storage.StripeCount)
+		if pick, _ := trainer.IOPlan(); pick != nil {
+			layout += " (advisor pick)"
+		}
+		fmt.Printf("input pipeline: %s, %d B/shard at %d concurrent readers; modeled read %.4fs, exposed %.4fs\n",
+			layout, ioBytes, readers, trainer.IOTime, trainer.ExposedIOTime)
 	}
 	if *explainPlan {
 		fmt.Println()

@@ -95,6 +95,16 @@ func (f *DataFeeder) loop() {
 	}
 }
 
+// ReadTimeTotal returns the accumulated simulated storage read time,
+// safe to call while the prefetch thread is mid-fill (SimReadTime
+// itself is only safe to read once the feeder is quiescent). This is
+// the accessor the CGTrainer's step report differences.
+func (f *DataFeeder) ReadTimeTotal() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.SimReadTime
+}
+
 // Next copies the prefetched batch into data/labels and wakes the
 // prefetcher for the following one. It blocks if the prefetch is
 // still in flight.

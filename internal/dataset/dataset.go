@@ -122,6 +122,35 @@ func Batch(d Dataset, start int, data, labels *tensor.Tensor) {
 	}
 }
 
+// Shard is a deterministic per-rank view of a Dataset for synchronous
+// data-parallel training: rank r of n ranks reads iteration k's
+// sub-batch at example indices [(k·n + r)·B, (k·n + r + 1)·B) — the
+// exact indices DistTrainer.LoadShards uses — so the n shards of one
+// iteration concatenate to the serial trainer's union batch, and a
+// prefetched shard is bit-identical to a directly-loaded one.
+type Shard struct {
+	DS    Dataset
+	Rank  int
+	Ranks int
+	Batch int // per-rank sub-batch
+}
+
+// Start returns the first example index of iteration it's shard.
+func (s Shard) Start(it int) int { return (it*s.Ranks + s.Rank) * s.Batch }
+
+// Load fills data (B, C, H, W) and labels (B) with iteration it's
+// shard, wrapping around the dataset like Batch.
+func (s Shard) Load(it int, data, labels *tensor.Tensor) {
+	Batch(s.DS, s.Start(it), data, labels)
+}
+
+// Bytes returns the raw float32 volume of one shard batch — the
+// quantity the pario storage model prices per concurrent reader.
+func (s Shard) Bytes() int64 {
+	c, h, w := s.DS.Dims()
+	return int64(s.Batch) * int64(c*h*w) * 4
+}
+
 // Sampler is the index source RandomBatch draws from. *detrand.RNG
 // satisfies it; so does *elastic.RNG, whose cursor rides inside
 // checkpoints so a restored trainer resumes the identical sample

@@ -325,6 +325,78 @@ func printFunctionalTable(w io.Writer, rows []FunctionalScalingRow) {
 	tw.Flush()
 }
 
+// IOScalingRow is one measured point of the input-pipeline sweep: the
+// overlap trainer executed end to end with the prefetch thread attached
+// and the read stage priced, under the single-split layout vs. the
+// stripe advisor's pick.
+type IOScalingRow struct {
+	Nodes   int
+	Backend string
+	Pick    int             // advisor's stripe count
+	Flat    train.StepStats // StripeCount = 1
+	Advised train.StepStats // AutoStripe
+}
+
+// FunctionalScalingIO is the `swbench funcscale -io` entry: at each
+// rank count it runs the overlapped cluster runtime with the input
+// pipeline enabled — per-rank shard reads priced through the pario
+// model at p concurrent readers, prefetch thread attached — once in
+// single-split mode and once under the stripe-count advisor, and
+// reports the measured step decompositions side by side. The advisor's
+// win is the ExposedIO column going to (or toward) zero while the
+// single-split column pays the paper's Sec. V-B contention.
+func FunctionalScalingIO(w io.Writer, ranks []int, backend string) []IOScalingRow {
+	const classes = 4
+	const batchBytes = 64 << 10
+	ds := dataset.NewClusters(4096, classes, 1, 8, 8, 0.35, 77)
+	build := func() (*core.Net, map[string]*tensor.Tensor, error) { return funcScaleNet(8, classes) }
+	solver := core.SolverConfig{BaseLR: 0.05, Momentum: 0.9}
+
+	rows := make([]IOScalingRow, len(ranks))
+	parallelFor(2*len(ranks), func(i int) {
+		pi, arm := i/2, i%2
+		p := ranks[pi]
+		d, err := train.NewDistTrainer(train.DistConfig{
+			Nodes: p, SubBatch: 8, Solver: solver,
+			Overlap: true, BucketBytes: 8 << 10,
+			Timeline: p > 8 || backend == train.BackendDES, Backend: backend,
+			IO: &train.IOConfig{
+				Storage: pario.DefaultTaihuLight(1), BatchBytes: batchBytes, AutoStripe: arm == 1,
+			},
+		}, build)
+		if err != nil {
+			panic(err)
+		}
+		defer d.Close()
+		d.AttachInput(ds)
+		for it := 0; it < 2; it++ {
+			d.LoadShards(ds, it)
+			d.Step()
+		}
+		if arm == 0 {
+			rows[pi].Nodes, rows[pi].Backend = p, backend
+			rows[pi].Flat = d.LastStep
+		} else {
+			rows[pi].Advised = d.LastStep
+			if pick, _ := d.IOPlan(); pick != nil {
+				rows[pi].Pick = pick.StripeCount
+			}
+		}
+	})
+
+	section(w, "Input pipeline: priced prefetch at p concurrent readers, single-split vs stripe advisor")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "nodes\tstep (io off)\tread s=1\texposed io s=1\tadvisor pick\tread advised\texposed io advised")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\ts=%d\t%s\t%s\n", r.Nodes,
+			fmtTime(r.Flat.StepTime-r.Flat.ExposedIO),
+			fmtTime(r.Flat.IO), fmtTime(r.Flat.ExposedIO),
+			r.Pick, fmtTime(r.Advised.IO), fmtTime(r.Advised.ExposedIO))
+	}
+	tw.Flush()
+	return rows
+}
+
 func shortName(model string) string {
 	switch model {
 	case "alexnet-bn", "alexnet-lrn":

@@ -54,16 +54,17 @@ func DefaultTaihuLight(stripes int) Config {
 }
 
 // ArraysPerRead returns how many distinct arrays one contiguous read
-// of readBytes touches. With 256 MB stripes and ~192 MB mini-batches,
-// "a single process can access at most two disk arrays" (Sec. V-B).
+// of readBytes touches, worst case over the read's starting offset: a
+// read of length L at an arbitrary offset spans at most ceil(L/S)+1
+// stripes of size S (one partial stripe at each end), capped by the
+// stripe count. With 256 MB stripes and ~192 MB mini-batches this is
+// 2 — "a single process can access at most two disk arrays"
+// (Sec. V-B).
 func (c Config) ArraysPerRead(readBytes int64) int {
-	if c.StripeCount == 1 {
+	if c.StripeCount == 1 || readBytes <= 0 {
 		return 1
 	}
-	spans := int(readBytes/c.StripeSize) + 1
-	if readBytes%c.StripeSize != 0 {
-		spans = int((readBytes+c.StripeSize-1)/c.StripeSize) + 1
-	}
+	spans := int((readBytes-1)/c.StripeSize) + 2
 	if spans > c.StripeCount {
 		spans = c.StripeCount
 	}
@@ -93,12 +94,12 @@ func (c Config) ReadTime(procs int, readBytes int64) float64 {
 	if procs <= 0 || readBytes <= 0 {
 		return 0
 	}
+	// ReadersPerArray clamps the per-array load at >= 1 reader, so the
+	// per-process bandwidth ArrayBandwidth/readers·arraysPerRead can
+	// never exceed one array's worth per spanned stripe — no extra cap
+	// is needed.
 	readers := c.ReadersPerArray(procs, readBytes)
 	perProcBW := c.ArrayBandwidth / readers * float64(c.ArraysPerRead(readBytes))
-	// A single reader cannot exceed one array's worth per span.
-	if lim := c.ArrayBandwidth * float64(c.ArraysPerRead(readBytes)); perProcBW > lim {
-		perProcBW = lim
-	}
 	return float64(readBytes) / perProcBW
 }
 
@@ -126,6 +127,47 @@ type Prefetcher struct {
 func (p Prefetcher) ExposedTime(computeTime float64) float64 {
 	rt := p.Config.ReadTime(p.Procs, p.BatchSize)
 	return math.Max(0, rt-computeTime)
+}
+
+// StripePlan is one candidate of SelectStripe's layout sweep: a stripe
+// count, the modeled concurrent read time of one mini-batch under it,
+// and the read time left exposed after overlapping with hideWindow.
+type StripePlan struct {
+	StripeCount int
+	ReadTime    float64
+	Exposed     float64
+}
+
+// SelectStripe is the stripe-count advisor — the I/O analogue of the
+// collective engine's α-β auto-bucket selector. It sweeps power-of-two
+// stripe counts from 1 (single-split mode) up to base.Arrays, prices
+// each layout's concurrent mini-batch read with ReadTime(procs,
+// readBytes), and picks the one minimizing the exposed read time
+// max(0, read − hideWindow) — hideWindow being the modeled step the
+// prefetch can hide behind. The tie-break is deterministic and
+// documented: an exact tie on the exposed estimate goes to the
+// *smaller* stripe count (fewer arrays dedicated to the dataset file;
+// once the read hides completely, wider striping buys nothing). The
+// full candidate list is returned for audit (swtrain -explain-plan).
+func SelectStripe(base Config, procs int, readBytes int64, hideWindow float64) (StripePlan, []StripePlan) {
+	var cands []StripePlan
+	for s := 1; s <= base.Arrays; s *= 2 {
+		cfg := base
+		cfg.StripeCount = s
+		rt := cfg.ReadTime(procs, readBytes)
+		exp := rt - hideWindow
+		if exp < 0 {
+			exp = 0
+		}
+		cands = append(cands, StripePlan{StripeCount: s, ReadTime: rt, Exposed: exp})
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.Exposed < best.Exposed {
+			best = c
+		}
+	}
+	return best, cands
 }
 
 // ImageNetBatchBytes returns the paper's working figure for a

@@ -129,6 +129,116 @@ func TestReadTimeProperties(t *testing.T) {
 	}
 }
 
+// TestReadersPerArrayPropertyBound is the satellite property test: the
+// paper's "at most N/32 x 2" bound generalized — for every stripe
+// count s > 1, proc count and read size, the per-array load must stay
+// within max(1, procs·arraysPerRead/s), arraysPerRead must obey the
+// worst-case span formula ceil(L/S)+1 capped at s, and a 256 MB-stripe
+// layout must never span more than ceil(192MB/256MB)+1 = 2 arrays for
+// the paper's batch.
+func TestReadersPerArrayPropertyBound(t *testing.T) {
+	f := func(stripeSel, procSel, sizeSel uint8) bool {
+		stripes := []int{1, 2, 4, 8, 16, 32}[int(stripeSel)%6]
+		procs := []int{1, 4, 32, 128, 1024, 4096}[int(procSel)%6]
+		size := []int64{1 << 10, 1 << 20, ImageNetBatchBytes(256), 300 << 20, 1 << 30}[int(sizeSel)%5]
+		cfg := DefaultTaihuLight(stripes)
+
+		per := cfg.ArraysPerRead(size)
+		if stripes == 1 {
+			if per != 1 {
+				return false
+			}
+		} else {
+			worst := int((size-1)/cfg.StripeSize) + 2
+			if worst > stripes {
+				worst = stripes
+			}
+			if per != worst {
+				return false
+			}
+		}
+
+		got := cfg.ReadersPerArray(procs, size)
+		bound := float64(procs) * float64(per) / float64(stripes)
+		if bound < 1 {
+			bound = 1
+		}
+		if stripes == 1 {
+			bound = float64(procs)
+		}
+		return got <= bound+1e-9 && got >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// The exact paper figure, pinned: 32 stripes, the 192 MB batch.
+	cfg := DefaultTaihuLight(32)
+	batch := ImageNetBatchBytes(256)
+	for _, n := range []int{32, 64, 256, 1024, 4096} {
+		if got, want := cfg.ReadersPerArray(n, batch), float64(n)/32*2; got > want+1e-9 {
+			t.Fatalf("N=%d: %g readers/array exceeds N/32·2 = %g", n, got, want)
+		}
+	}
+}
+
+// TestArraysPerReadAlignedAgreesWithUnaligned pins the satellite fix:
+// an exact-multiple read and a one-byte-longer read may differ by at
+// most one spanned stripe, and the aligned case uses the same
+// worst-case formula as everything else (the old code special-cased it
+// a stripe low).
+func TestArraysPerReadAlignedAgreesWithUnaligned(t *testing.T) {
+	cfg := DefaultTaihuLight(32)
+	s := cfg.StripeSize
+	for _, mult := range []int64{1, 2, 5} {
+		aligned := cfg.ArraysPerRead(mult * s)
+		over := cfg.ArraysPerRead(mult*s + 1)
+		if want := int(mult) + 1; aligned != want {
+			t.Fatalf("%d-stripe-aligned read: %d arrays, want worst-case %d", mult, aligned, want)
+		}
+		if over != aligned+1 {
+			t.Fatalf("crossing the %d-stripe boundary: %d -> %d arrays, want +1", mult, aligned, over)
+		}
+	}
+	if got := cfg.ArraysPerRead(0); got != 1 {
+		t.Fatalf("zero-byte read touches %d arrays, want 1", got)
+	}
+}
+
+func TestSelectStripe(t *testing.T) {
+	base := DefaultTaihuLight(1)
+	const procs = 128
+	batch := int64(64 << 10)
+
+	// A generous hide window hides the read at every layout: the
+	// advisor must keep single-split (smaller-stripe tie-break).
+	pick, cands := SelectStripe(base, procs, batch, 1.0)
+	if pick.StripeCount != 1 || pick.Exposed != 0 {
+		t.Fatalf("fully-hidden sweep picked %+v, want single-split at 0 exposed", pick)
+	}
+	if len(cands) != 6 { // 1,2,4,8,16,32
+		t.Fatalf("candidate sweep has %d entries, want 6", len(cands))
+	}
+
+	// A tight window forces striping: the pick must beat single-split
+	// and be the smallest stripe count achieving its exposure.
+	hide := base.ReadTime(procs, batch) / 8
+	pick, cands = SelectStripe(base, procs, batch, hide)
+	if pick.StripeCount == 1 {
+		t.Fatalf("tight-window sweep kept single-split: %+v", pick)
+	}
+	if pick.Exposed >= cands[0].Exposed {
+		t.Fatalf("advisor pick %+v does not beat single-split %+v", pick, cands[0])
+	}
+	for _, c := range cands {
+		if c.Exposed < pick.Exposed {
+			t.Fatalf("candidate %+v beats the pick %+v", c, pick)
+		}
+		if c.Exposed == pick.Exposed && c.StripeCount < pick.StripeCount {
+			t.Fatalf("tie-break violated: %+v not preferred over %+v", c, pick)
+		}
+	}
+}
+
 func TestImageNetBatchBytes(t *testing.T) {
 	// The paper's figure: 256 images ~ 192 MB.
 	got := float64(ImageNetBatchBytes(256)) / 1e6

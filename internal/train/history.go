@@ -115,5 +115,23 @@ func (t *DistTrainer) ExplainPlan(w io.Writer) error {
 	} else {
 		fmt.Fprintf(w, "no committed step yet — run at least one Step for realized costs\n")
 	}
+	if t.cfg.IO != nil {
+		t.ensureIO()
+		if t.ioCands != nil {
+			fmt.Fprintf(w, "stripe advisor (exposed read vs priced compute window %.1f us):\n", t.computeEnd*1e6)
+			for _, c := range t.ioCands {
+				mark := " "
+				if t.ioPlan != nil && c.StripeCount == t.ioPlan.StripeCount {
+					mark = "*"
+				}
+				fmt.Fprintf(w, "  %s stripes %3d   read %10.1f us   exposed %10.1f us\n",
+					mark, c.StripeCount, c.ReadTime*1e6, c.Exposed*1e6)
+			}
+		} else {
+			fmt.Fprintf(w, "stripe count fixed by configuration (no advisor sweep)\n")
+		}
+		fmt.Fprintf(w, "active io: %d stripes, %d B/shard, %d readers, read %.1f us/step (last step exposed %.1f us)\n",
+			t.ioStorage.StripeCount, t.ioBytes, t.ioReaders, t.ioReadTime*1e6, t.LastStep.ExposedIO*1e6)
+	}
 	return nil
 }

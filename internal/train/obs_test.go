@@ -167,6 +167,13 @@ func TestStepStatsInvariants(t *testing.T) {
 							t.Fatalf("iter %d: StepTime %g < Compute %g + Exposed %g",
 								it, st.StepTime, st.Compute, st.Exposed)
 						}
+						if st.ExposedIO > st.IO+eps {
+							t.Fatalf("iter %d: ExposedIO %g > IO %g", it, st.ExposedIO, st.IO)
+						}
+						if st.StepTime < st.Compute+st.Exposed+st.ExposedIO-eps {
+							t.Fatalf("iter %d: StepTime %g < Compute %g + Exposed %g + ExposedIO %g",
+								it, st.StepTime, st.Compute, st.Exposed, st.ExposedIO)
+						}
 						if len(st.Buckets) == 0 {
 							t.Fatalf("iter %d: no per-bucket attribution", it)
 						}

@@ -221,6 +221,7 @@ func (t *DistTrainer) stepOverlap() float32 {
 		CrossBytes: xBytes,
 		Buckets:    t.bucketScratch,
 	}
+	t.composeIO(step)
 	t.ComputeTime += compute
 	t.CommTime += commSum
 	t.ExposedCommTime += t.LastStep.Exposed

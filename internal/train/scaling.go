@@ -260,6 +260,17 @@ type FunctionalSweepConfig struct {
 	// backend (implies timeline node semantics), which is what makes
 	// p = 1024/4096 points feasible.
 	Backend string
+
+	// IO prices each point's shard reads per DistConfig.IO (readers
+	// default to p at every point, the sweep's contention story); the
+	// per-step IO/ExposedIO land in the points' StepStats.
+	IO *IOConfig
+
+	// Prefetch additionally attaches the functional prefetch thread
+	// (AttachInput) at every point, so the sweep exercises the staged
+	// double-buffer path rather than direct loads. Numerics are
+	// bit-identical either way.
+	Prefetch bool
 }
 
 // FunctionalSweep runs the cluster runtime end to end at each node
@@ -280,12 +291,15 @@ func FunctionalSweep(build func() (*core.Net, map[string]*tensor.Tensor, error),
 			Overlap: cfg.Overlap, BucketBytes: cfg.BucketBytes, AutoBucket: cfg.AutoBucket,
 			Algorithm: cfg.Algorithm, AlgorithmName: cfg.AlgorithmName,
 			Network: cfg.Network, Mapping: cfg.Mapping, Timeline: cfg.Timeline,
-			Backend: cfg.Backend,
+			Backend: cfg.Backend, IO: cfg.IO,
 		}, build)
 		if err != nil {
 			return StepStats{}, nil, 0, err
 		}
 		defer tr.Close()
+		if cfg.Prefetch {
+			tr.AttachInput(ds)
+		}
 		var loss float32
 		for it := 0; it < cfg.Iters; it++ {
 			tr.LoadShards(ds, it)

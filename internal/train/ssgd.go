@@ -12,6 +12,7 @@ import (
 	"swcaffe/internal/des"
 	"swcaffe/internal/elastic"
 	"swcaffe/internal/obs"
+	"swcaffe/internal/pario"
 	"swcaffe/internal/perf"
 	"swcaffe/internal/simnet"
 	"swcaffe/internal/sw26010"
@@ -144,6 +145,40 @@ type DistConfig struct {
 	// StepStats — per-bucket attribution included — so multi-step runs
 	// report trends without re-running.
 	HistorySize int
+
+	// IO, when non-nil, adds the paper Sec. V-B input pipeline as a
+	// third modeled stage of every Step, symmetric with exposed comm:
+	// each iteration's shard read is priced through pario.Config.ReadTime
+	// at the true contention point (p concurrent readers by default) and
+	// double-buffered behind the previous step, so the exposed read per
+	// step is max(0, read − hide window). Both backends charge the
+	// identical analytic read time, keeping the DES <-> goroutine
+	// hex-identity goldens valid with I/O enabled. Nil costs the hot
+	// paths nothing (StepStats.IO/ExposedIO stay zero).
+	IO *IOConfig
+}
+
+// IOConfig configures the modeled input-pipeline stage of DistConfig.
+type IOConfig struct {
+	// Storage is the striped disk-array model. A zero Arrays field
+	// selects pario.DefaultTaihuLight (32 arrays at 2 GB/s, 256 MB
+	// stripes) at Storage.StripeCount (or single-split when that is
+	// also zero).
+	Storage pario.Config
+	// AutoStripe hands Storage.StripeCount to pario.SelectStripe — the
+	// I/O analogue of AlgorithmName = "auto" — which sweeps power-of-two
+	// layouts against the priced compute window and picks the stripe
+	// count minimizing exposed read time (ties to the smaller count).
+	AutoStripe bool
+	// BatchBytes overrides the modeled bytes of one per-rank shard read
+	// (0 = the actual input tensor bytes). The synthetic test tensors
+	// are a few KB and always hide; the paper's ImageNet batches are
+	// ~768 KB/image — this is how sweeps model real batch volumes
+	// without materializing them.
+	BatchBytes int64
+	// Readers overrides the concurrent-reader count each read is priced
+	// at (0 = the trainer's world size p, re-resolved after a Shrink).
+	Readers int
 }
 
 // Backend names for DistConfig.Backend.
@@ -186,6 +221,10 @@ type DistTrainer struct {
 	// hidden behind backward compute on the modeled timeline (equals
 	// CommTime for the barrier trainer).
 	ExposedCommTime float64
+	// IOTime / ExposedIOTime accumulate the modeled shard read time and
+	// its non-overlapped remainder (zero unless cfg.IO is set).
+	IOTime        float64
+	ExposedIOTime float64
 	// LastStep is the modeled decomposition of the most recent Step.
 	LastStep StepStats
 	iter     int
@@ -241,6 +280,23 @@ type DistTrainer struct {
 	// cursor rides inside checkpoints.
 	sampler *elastic.RNG
 
+	// Resolved input-pipeline model (lazily built by ensureIO, nil/zero
+	// unless cfg.IO is set): the storage layout with the advisor's
+	// stripe pick applied, the priced per-step concurrent read, and the
+	// advisor's candidate sweep kept for ExplainPlan. ioReady is
+	// cleared by Shrink so the model re-resolves at the new world size.
+	ioStorage  pario.Config
+	ioReaders  int
+	ioBytes    int64
+	ioReadTime float64
+	ioPlan     *pario.StripePlan
+	ioCands    []pario.StripePlan
+	ioReady    bool
+
+	// prefetch is the functional double-buffered input thread (see
+	// AttachInput); nil means LoadShards fills worker tensors directly.
+	prefetch *inputPrefetcher
+
 	// HostMath-mode pass-failure bookkeeping: the recover-and-record
 	// twin of node-mode event poisoning, so fault recovery works
 	// uniformly across execution modes.
@@ -259,6 +315,13 @@ type StepStats struct {
 	Comm     float64 // summed simulated all-reduce makespans
 	Exposed  float64 // communication not hidden behind backward
 	StepTime float64 // modeled iteration wall time
+
+	// The input-pipeline stage (zero unless DistConfig.IO is set): IO
+	// is the modeled concurrent shard read of this step's batch,
+	// ExposedIO the part the double-buffered prefetch could not hide
+	// behind the previous step (the whole read on the cold first step).
+	IO        float64
+	ExposedIO float64
 
 	// Traffic census summed over the step's collectives (see
 	// simnet.Result): messages posted, the cross-supernode subset, and
@@ -279,6 +342,9 @@ type StepStats struct {
 // slice field, so == no longer compiles).
 func (s StepStats) Equal(o StepStats) bool {
 	if s.Compute != o.Compute || s.Comm != o.Comm || s.Exposed != o.Exposed || s.StepTime != o.StepTime {
+		return false
+	}
+	if s.IO != o.IO || s.ExposedIO != o.ExposedIO {
 		return false
 	}
 	if s.Msgs != o.Msgs || s.CrossMsgs != o.CrossMsgs || s.CrossBytes != o.CrossBytes {
@@ -421,10 +487,11 @@ func (t *DistTrainer) NodeStats() sw26010.Stats {
 	return t.nodes.Stats()
 }
 
-// Close drains the workers' simulated nodes and stops their CPE worker
-// pools. The trainer must not be used after Close. A no-op in HostMath
-// mode, so callers can always defer it.
+// Close drains the workers' simulated nodes, stops their CPE worker
+// pools and stops the input prefetch thread. The trainer must not be
+// used after Close. Safe to defer in every mode.
 func (t *DistTrainer) Close() {
+	t.detachInput()
 	if t.nodes != nil {
 		t.nodes.Close()
 	}
@@ -724,6 +791,7 @@ func (t *DistTrainer) stepBarrier() float32 {
 		CrossBytes: res.CrossBytes,
 		Buckets:    t.bucketScratch,
 	}
+	t.composeIO(step)
 	t.ComputeTime += compute
 	t.ExposedCommTime += res.Time
 	t.recordStep()
@@ -738,10 +806,17 @@ func (t *DistTrainer) stepBarrier() float32 {
 // LoadShards fills every worker's input tensors with consecutive
 // shards of the dataset starting at a deterministic per-iteration
 // offset, so a serial trainer can consume the identical union batch.
+// With a prefetcher attached for ds (AttachInput), the fill is a copy
+// out of the staging the I/O thread filled during the previous step —
+// same indices, same bytes, zero behavioral difference.
 func (t *DistTrainer) LoadShards(ds dataset.Dataset, iteration int) {
+	if t.prefetch != nil && t.prefetch.ds == ds {
+		t.prefetch.load(iteration, t.Workers)
+		return
+	}
 	for _, w := range t.Workers {
-		start := (iteration*t.cfg.Nodes + w.Rank) * t.cfg.SubBatch
-		dataset.Batch(ds, start, w.Data, w.Labels)
+		sh := dataset.Shard{DS: ds, Rank: w.Rank, Ranks: t.cfg.Nodes, Batch: t.cfg.SubBatch}
+		sh.Load(iteration, w.Data, w.Labels)
 	}
 }
 
@@ -794,6 +869,26 @@ type CGTrainer struct {
 	// 3-8); lastEnd tracks the node timeline across steps.
 	SimTime float64
 	lastEnd float64
+
+	// Input pipeline (AttachInput): a core.DataFeeder prefetches the
+	// union mini-batch — the four CGs' quarters in one sequential read,
+	// the single-reader contention point of the one-node trainer — and
+	// Step scatters it. The read accounting is the feeder's priced
+	// SimReadTime, surfaced per step instead of accumulating unread:
+	// LastRead is the step's modeled read, LastExposedRead the part the
+	// previous step's makespan could not hide (the whole read on the
+	// cold first fetch). ReadTime/ExposedReadTime accumulate across
+	// steps; SimTime stays compute-only so the two costs stay separable.
+	feeder          *core.DataFeeder
+	unionData       *tensor.Tensor
+	unionLabels     *tensor.Tensor
+	feederRead      float64
+	lastSpan        float64
+	firstFetch      bool
+	LastRead        float64
+	LastExposedRead float64
+	ReadTime        float64
+	ExposedReadTime float64
 }
 
 // NewCGTrainer builds the 4-CG trainer from a deterministic factory
@@ -832,14 +927,81 @@ func (t *CGTrainer) EnableWorkStealing() {
 	}
 }
 
-// Close stops the node's CPE worker pools. The trainer must not be
-// used after Close.
-func (t *CGTrainer) Close() { t.node.Close() }
+// AttachInput wires ds as the trainer's prefetched input pipeline: a
+// core.DataFeeder (the paper's per-worker I/O thread) reads the union
+// mini-batch — all four quarter-batches in one sequential fetch — on a
+// background goroutine while the current step trains, priced against
+// storage at procs = 1 (one node reads alone; the cluster trainer's
+// contention point is p). Sequential mode walks the same
+// (it·4+i)·quarter indices the unprefetched swtrain driver passes to
+// dataset.Batch, so attaching the pipeline changes no training bits.
+func (t *CGTrainer) AttachInput(ds dataset.Dataset, storage pario.Config) {
+	if t.feeder != nil {
+		t.feeder.Stop()
+	}
+	quarter := t.CGs[0].Data.N
+	c, h, w := ds.Dims()
+	union := quarter * sw26010.CoreGroups
+	t.unionData = tensor.New(union, c, h, w)
+	t.unionLabels = tensor.New(union, 1, 1, 1)
+	// Seed is irrelevant in sequential mode; the cursor starts at 0,
+	// i.e. iteration 0's union batch.
+	f := core.NewDataFeeder(ds, union, false, 0)
+	f.AttachStorage(storage, 1)
+	t.feeder = f
+	t.feederRead = 0
+	t.lastSpan = 0
+	t.firstFetch = true
+}
+
+// fetchInput drains the feeder's staged union batch into the four CGs'
+// quarter inputs and books the step's read cost (no-op without
+// AttachInput).
+func (t *CGTrainer) fetchInput() {
+	if t.feeder == nil {
+		return
+	}
+	t.feeder.Next(t.unionData, t.unionLabels)
+	quarter := t.CGs[0].Data.N
+	qElems := quarter * t.unionData.C * t.unionData.H * t.unionData.W
+	for i, w := range t.CGs {
+		copy(w.Data.Data, t.unionData.Data[i*qElems:(i+1)*qElems])
+		copy(w.Labels.Data, t.unionLabels.Data[i*quarter:(i+1)*quarter])
+	}
+	total := t.feeder.ReadTimeTotal()
+	read := total - t.feederRead
+	t.feederRead = total
+	exposed := read
+	if !t.firstFetch {
+		// Steady state: the fetch overlapped the previous step's node
+		// makespan; only the excess is exposed.
+		exposed = read - t.lastSpan
+		if exposed < 0 {
+			exposed = 0
+		}
+	}
+	t.firstFetch = false
+	t.LastRead = read
+	t.LastExposedRead = exposed
+	t.ReadTime += read
+	t.ExposedReadTime += exposed
+}
+
+// Close stops the node's CPE worker pools (and the input-pipeline
+// feeder, if attached). The trainer must not be used after Close.
+func (t *CGTrainer) Close() {
+	if t.feeder != nil {
+		t.feeder.Stop()
+		t.feeder = nil
+	}
+	t.node.Close()
+}
 
 // Step runs one iteration: quarter-batch passes launched concurrently
 // on the 4 simulated CGs, gradient summation onto CG0 as mesh kernels
 // chained behind the passes, update on CG0, parameter broadcast back.
 func (t *CGTrainer) Step() float32 {
+	t.fetchInput()
 	losses := make([]float32, sw26010.CoreGroups)
 	passes := make([]*swnode.Event, sw26010.CoreGroups)
 	for i, w := range t.CGs {
@@ -866,7 +1028,8 @@ func (t *CGTrainer) Step() float32 {
 	}
 	t.node.Sync()
 	end := t.node.SimTime()
-	t.SimTime += end - t.lastEnd
+	t.lastSpan = end - t.lastEnd
+	t.SimTime += t.lastSpan
 	t.lastEnd = end
 
 	// Average, update on CG0's MPE, broadcast parameters back (shared

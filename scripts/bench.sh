@@ -2,8 +2,17 @@
 # bench.sh — benchmark regression harness. Runs the key simulator /
 # planner / trainer benchmarks with -benchmem, runs the simulated-time
 # invariance test, and writes the results as JSON (default
-# BENCH_PR9.json) extending the perf trajectory that future PRs are
-# judged against. PR 9 adds the discrete-event backend columns:
+# BENCH_PR10.json) extending the perf trajectory that future PRs are
+# judged against. PR 10 adds the input-pipeline columns:
+# DistStepOverlapIOStripe1/DistStepOverlapIOAuto — the auto-bucketed
+# overlap step with a 1 MB/shard read priced at 4 concurrent readers.
+# The single-split variant must report its read mostly exposed
+# (io-us/step > exposed-io-us/step > 0) while the AutoStripe variant's
+# stripe advisor hides it completely (exposed-io-us/step = 0 and
+# modeled-us/step back at the IO-off 636.7); every IO-off DistStep
+# modeled-us/step stays bit-identical at 676.8/636.7 — the input
+# pipeline costs nothing when disabled. PR 9 added the discrete-event
+# backend columns:
 # DistStepBarrierDES/DistStepOverlapDES (the same step on the
 # single-threaded event heap — modeled-us/step must stay bit-identical
 # at 676.8/636.7, host cost is what changes) and the functional-sweep
@@ -38,9 +47,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR9.json}"
+OUT="${1:-BENCH_PR10.json}"
 BENCHTIME="${2:-1s}"
-PATTERN='^(BenchmarkSimGEMM64|BenchmarkSimGEMM128|BenchmarkSimGEMMRagged|BenchmarkSimConvExplicit|BenchmarkConvPlanSelection|BenchmarkGEMMPlanWarm|BenchmarkGEMMPlanCold|BenchmarkTable2|BenchmarkSolverUpdate|BenchmarkAllreducePack|BenchmarkAllreduceScale|BenchmarkDistStepBarrier|BenchmarkDistStepOverlap|BenchmarkDistStepBarrierHostMath|BenchmarkDistStepOverlapHostMath|BenchmarkDistStepOverlapFixedDefault|BenchmarkDistStepOverlapAuto|BenchmarkDistStepBarrierRing|BenchmarkDistStepOverlapRingFixedDefault|BenchmarkDistStepOverlapRingAuto|BenchmarkDistStepBarrierHier|BenchmarkDistStepOverlapHierFixedDefault|BenchmarkDistStepOverlapHierAuto|BenchmarkDistStepOverlapAlgAuto|BenchmarkDistStepOverlapTimeline|BenchmarkDistStepTracedOff|BenchmarkDistStepTracedOn|BenchmarkDistStepBarrierDES|BenchmarkDistStepOverlapDES|BenchmarkCGTrainerStep|BenchmarkCheckpointSave|BenchmarkCheckpointRestore|BenchmarkShrinkRecovery)$'
+PATTERN='^(BenchmarkSimGEMM64|BenchmarkSimGEMM128|BenchmarkSimGEMMRagged|BenchmarkSimConvExplicit|BenchmarkConvPlanSelection|BenchmarkGEMMPlanWarm|BenchmarkGEMMPlanCold|BenchmarkTable2|BenchmarkSolverUpdate|BenchmarkAllreducePack|BenchmarkAllreduceScale|BenchmarkDistStepBarrier|BenchmarkDistStepOverlap|BenchmarkDistStepBarrierHostMath|BenchmarkDistStepOverlapHostMath|BenchmarkDistStepOverlapFixedDefault|BenchmarkDistStepOverlapAuto|BenchmarkDistStepBarrierRing|BenchmarkDistStepOverlapRingFixedDefault|BenchmarkDistStepOverlapRingAuto|BenchmarkDistStepBarrierHier|BenchmarkDistStepOverlapHierFixedDefault|BenchmarkDistStepOverlapHierAuto|BenchmarkDistStepOverlapAlgAuto|BenchmarkDistStepOverlapTimeline|BenchmarkDistStepTracedOff|BenchmarkDistStepTracedOn|BenchmarkDistStepBarrierDES|BenchmarkDistStepOverlapDES|BenchmarkDistStepOverlapIOStripe1|BenchmarkDistStepOverlapIOAuto|BenchmarkCGTrainerStep|BenchmarkCheckpointSave|BenchmarkCheckpointRestore|BenchmarkShrinkRecovery)$'
 # Sweep wall-clock columns run once each regardless of BENCHTIME: one
 # functional sweep is seconds of work and its own repetition.
 SWEEP_PATTERN='^(BenchmarkFuncScaleP128Goroutine|BenchmarkFuncScaleP128DES|BenchmarkFuncScaleP1024DES)$'
@@ -72,17 +81,21 @@ echo "$RAW" | awk -v invariance="$INVARIANCE" -v date="$(date -u +%Y-%m-%dT%H:%M
     allocs[name] = ""
     modeled[name] = ""
     exposed[name] = ""
+    ioread[name] = ""
+    ioexp[name] = ""
     for (i = 4; i <= NF; i++) {
         if ($(i) == "B/op")                 bytes[name]   = $(i-1)
         if ($(i) == "allocs/op")            allocs[name]  = $(i-1)
         if ($(i) == "modeled-us/step")      modeled[name] = $(i-1)
         if ($(i) == "exposed-comm-us/step") exposed[name] = $(i-1)
+        if ($(i) == "io-us/step")           ioread[name]  = $(i-1)
+        if ($(i) == "exposed-io-us/step")   ioexp[name]   = $(i-1)
     }
     order[n++] = name
 }
 END {
     printf "{\n"
-    printf "  \"pr\": 9,\n"
+    printf "  \"pr\": 10,\n"
     printf "  \"date\": \"%s\",\n", date
     printf "  \"invariance\": \"%s\",\n", invariance
     printf "  \"benchmarks\": {\n"
@@ -93,11 +106,13 @@ END {
         if (allocs[name] != "")  printf ", \"allocs_op\": %s", allocs[name]
         if (modeled[name] != "") printf ", \"modeled_us_step\": %s", modeled[name]
         if (exposed[name] != "") printf ", \"exposed_comm_us_step\": %s", exposed[name]
+        if (ioread[name] != "")  printf ", \"io_us_step\": %s", ioread[name]
+        if (ioexp[name] != "")   printf ", \"exposed_io_us_step\": %s", ioexp[name]
         printf "}%s\n", (i < n-1 ? "," : "")
     }
     printf "  },\n"
     printf "  \"pr4_reference\": {\n"
-    printf "    \"comment\": \"PR-4 numbers live in BENCH_PR4.json; DistStep modeled-us/step must be unchanged (676.8 barrier / 636.7 overlap) — the DES backend (PR 9), like the tracing layer (PR 7), the elastic fault machinery (PR 6) and the hierarchical strategy (PR 5), costs nothing when disabled, and the DES variants must report the same modeled numbers\",\n"
+    printf "    \"comment\": \"PR-4 numbers live in BENCH_PR4.json; DistStep modeled-us/step must be unchanged (676.8 barrier / 636.7 overlap) — the input pipeline (PR 10), like the DES backend (PR 9), the tracing layer (PR 7), the elastic fault machinery (PR 6) and the hierarchical strategy (PR 5), costs nothing when disabled; with IO on, OverlapIOAuto must return to 636.7 modeled-us/step (advisor hides the read) while OverlapIOStripe1 pays it exposed\",\n"
     printf "    \"BenchmarkDistStepBarrier\": {\"modeled_us_step\": 676.8, \"exposed_comm_us_step\": 79.4},\n"
     printf "    \"BenchmarkDistStepOverlapAuto\": {\"modeled_us_step\": 636.7, \"exposed_comm_us_step\": 39.3}\n"
     printf "  }\n"
